@@ -1,0 +1,94 @@
+// Command splitserve-profile reproduces the paper's offline workload
+// profiling (Section 5.1, Figure 4): execution time and cost of PageRank
+// versus degree of parallelism on all-Lambda or all-VM executors, the
+// curves a cost manager consults to pick a job's core count.
+//
+//	splitserve-profile -substrate lambda
+//	splitserve-profile -substrate vm -pages 50000 -iterations 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"splitserve/internal/cloud"
+	"splitserve/internal/experiments"
+	"splitserve/internal/workloads/pagerank"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		substrate  = flag.String("substrate", "lambda", "executor substrate: lambda or vm")
+		pages      = flag.Int("pages", 0, "profile a single dataset size (0 = the paper's 25k/50k/100k sweep)")
+		iterations = flag.Int("iterations", 3, "PageRank iterations")
+		maxPar     = flag.Int("max-parallelism", 128, "largest degree of parallelism (powers of two from 1)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	lambda := *substrate == "lambda"
+	if !lambda && *substrate != "vm" {
+		fmt.Fprintln(os.Stderr, "splitserve-profile: -substrate must be lambda or vm")
+		return 2
+	}
+
+	sizes := []int{25_000, 50_000, 100_000}
+	if *pages > 0 {
+		sizes = []int{*pages}
+	}
+
+	fmt.Printf("PageRank profiling on all-%s executors (paper Figure 4%s)\n",
+		*substrate, map[bool]string{true: "a", false: "b"}[lambda])
+	fmt.Printf("%8s %12s %12s %12s %12s\n", "pages", "parallelism", "exec time", "cost USD", "$/run-vs-min")
+	for _, size := range sizes {
+		var pts []experiments.ProfilePoint
+		for par := 1; par <= *maxPar; par *= 2 {
+			cfg := pagerank.DefaultConfig()
+			cfg.Pages = size
+			cfg.Partitions = par
+			cfg.Iterations = *iterations
+			cfg.Seed = *seed
+			kind := experiments.SSFullVM
+			if lambda {
+				kind = experiments.SSLambda
+			}
+			workerType, _ := cloud.SmallestFor(par)
+			res, err := experiments.Run(experiments.Scenario{
+				Kind: kind, R: par, SmallR: par,
+				WorkerVMType: workerType,
+				MasterVMType: cloud.M4XLarge,
+				Seed:         *seed,
+			}, pagerank.New(cfg))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+				return 1
+			}
+			pts = append(pts, experiments.ProfilePoint{
+				Pages: size, Parallelism: par,
+				ExecTime: res.ExecTime, CostUSD: res.CostUSD,
+			})
+		}
+		best := pts[0].ExecTime
+		for _, p := range pts {
+			if p.ExecTime < best {
+				best = p.ExecTime
+			}
+		}
+		for _, p := range pts {
+			marker := ""
+			if p.ExecTime == best {
+				marker = "  <- performance-optimal parallelism"
+			}
+			fmt.Printf("%8d %12d %12.1fs %12.4f %11.2fx%s\n",
+				p.Pages, p.Parallelism, p.ExecTime.Seconds(), p.CostUSD,
+				p.ExecTime.Seconds()/best.Seconds(), marker)
+		}
+		fmt.Println()
+	}
+	return 0
+}

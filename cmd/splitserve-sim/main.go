@@ -1,0 +1,102 @@
+// Command splitserve-sim runs one {workload, scenario} combination and
+// dumps the result with its execution timeline — the tool to poke at
+// SplitServe's behaviour interactively:
+//
+//	splitserve-sim -workload pagerank -scenario hybrid-segue -r 16 -small 3 -segue-at 45s
+//	splitserve-sim -workload tpcds-q16 -scenario qubole -r 32
+//	splitserve-sim -workload kmeans -scenario spark-small -r 16 -small 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"splitserve"
+)
+
+var scenarioByName = map[string]splitserve.ScenarioKind{
+	"spark-small":  splitserve.ScenarioSparkSmall,
+	"spark-full":   splitserve.ScenarioSparkFull,
+	"autoscale":    splitserve.ScenarioSparkAutoscale,
+	"qubole":       splitserve.ScenarioQubole,
+	"ss-vm":        splitserve.ScenarioSSFullVM,
+	"ss-lambda":    splitserve.ScenarioSSLambda,
+	"hybrid":       splitserve.ScenarioHybrid,
+	"hybrid-segue": splitserve.ScenarioHybridSegue,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		workload = flag.String("workload", "pagerank", "pagerank | kmeans | sparkpi | tpcds-q5 | tpcds-q16 | tpcds-q94 | tpcds-q95")
+		scenario = flag.String("scenario", "hybrid", "spark-small | spark-full | autoscale | qubole | ss-vm | ss-lambda | hybrid | hybrid-segue")
+		r        = flag.Int("r", 0, "required cores R (0 = workload default)")
+		small    = flag.Int("small", 0, "free VM cores r (0 = R/4)")
+		segueAt  = flag.Duration("segue-at", 45*time.Second, "when segue capacity appears")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		width    = flag.Int("width", 100, "timeline width")
+	)
+	flag.Parse()
+
+	kind, ok := scenarioByName[*scenario]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "splitserve-sim: unknown scenario %q\n", *scenario)
+		return 2
+	}
+	w, err := buildWorkload(*workload, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 2
+	}
+
+	opts := []splitserve.Option{
+		splitserve.WithSeed(*seed),
+		splitserve.WithSegueAt(*segueAt),
+	}
+	cores := w.DefaultParallelism()
+	if *r > 0 {
+		cores = *r
+	}
+	sm := cores / 4
+	if *small > 0 {
+		sm = *small
+	}
+	opts = append(opts, splitserve.WithCores(cores, sm))
+
+	res, err := splitserve.Run(kind, w, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 1
+	}
+	fmt.Println(res)
+	fmt.Println("answer:", res.Answer)
+	fmt.Printf("work distribution: VM %d tasks / %v busy, Lambda %d tasks / %v busy\n",
+		res.VMTasks, res.VMBusy.Round(time.Millisecond),
+		res.LambdaTasks, res.LambdaBusy.Round(time.Millisecond))
+	for kindName, usd := range res.CostByKind {
+		fmt.Printf("cost[%s] = $%.6f\n", kindName, usd)
+	}
+	fmt.Print(res.Timeline(*width))
+	return 0
+}
+
+func buildWorkload(name string, seed uint64) (splitserve.Workload, error) {
+	switch {
+	case name == "pagerank":
+		return splitserve.PageRank(splitserve.PageRankOptions{Seed: seed}), nil
+	case name == "kmeans":
+		return splitserve.KMeans(splitserve.KMeansOptions{Seed: seed}), nil
+	case name == "sparkpi":
+		return splitserve.SparkPi(splitserve.SparkPiOptions{Seed: seed}), nil
+	case strings.HasPrefix(name, "tpcds-"):
+		return splitserve.TPCDSQuery(strings.TrimPrefix(name, "tpcds-")), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

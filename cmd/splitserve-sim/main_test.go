@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"splitserve"
+)
+
+func TestScenarioByNameCoversAllKinds(t *testing.T) {
+	seen := map[splitserve.ScenarioKind]bool{}
+	for name, kind := range scenarioByName {
+		if name == "" {
+			t.Fatal("empty scenario name")
+		}
+		if seen[kind] {
+			t.Fatalf("kind %d mapped twice", kind)
+		}
+		seen[kind] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("scenario map covers %d kinds, want 8", len(seen))
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	for _, name := range []string{"pagerank", "kmeans", "sparkpi", "tpcds-q5", "tpcds-q16", "tpcds-q94", "tpcds-q95"} {
+		w, err := buildWorkload(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Name() == "" || w.DefaultParallelism() <= 0 {
+			t.Fatalf("%s: degenerate workload", name)
+		}
+		if strings.HasPrefix(name, "tpcds-") && !strings.Contains(w.Name(), strings.TrimPrefix(name, "tpcds-")) {
+			t.Fatalf("%s built %s", name, w.Name())
+		}
+	}
+	if _, err := buildWorkload("nope", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,247 @@
+// Package dataset is a type-safe, generics-based facade over the engine's
+// untyped RDD layer — the ergonomic way to define custom dataflows and run
+// them under any of the paper's scenarios:
+//
+//	type visit struct{ User string; Dur int }
+//
+//	w := dataset.AsWorkload("sessions", 16, time.Minute,
+//	    func(c *dataset.Context) dataset.Dataset[dataset.Pair[string, int]] {
+//	        visits := dataset.Source(c, "visits", 16, genVisits, 50, 24)
+//	        pairs := dataset.Map(visits, "pair", func(v visit) dataset.Pair[string, int] {
+//	            return dataset.Pair[string, int]{K: v.User, V: v.Dur}
+//	        }, 5, 24)
+//	        return dataset.ReduceByKey(pairs, "total", 16,
+//	            func(a, b int) int { return a + b }, 5, 24)
+//	    },
+//	    func(rows []dataset.Pair[string, int]) string {
+//	        return fmt.Sprintf("%d users", len(rows))
+//	    })
+//
+//	res, _ := splitserve.Run(splitserve.ScenarioHybrid, w, splitserve.WithCores(16, 4))
+//
+// Costs follow the engine's convention: CPU work units per row processed
+// and serialized bytes per row (see internal/spark/rdd).
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/spark/rdd"
+	"splitserve/internal/workloads"
+)
+
+// Key constrains shuffle keys to the engine's hashable, ordered key types.
+type Key interface {
+	~int | ~int32 | ~int64 | ~uint64 | ~string
+}
+
+// Pair is a keyed row.
+type Pair[K Key, V any] struct {
+	K K
+	V V
+}
+
+// Context builds one logical plan.
+type Context struct {
+	inner *rdd.Context
+}
+
+// NewContext returns an empty plan-building context.
+func NewContext() *Context { return &Context{inner: rdd.NewContext()} }
+
+// Dataset is a typed view of a lineage-carrying dataset.
+type Dataset[T any] struct {
+	ctx *Context
+	r   *rdd.RDD
+}
+
+// RDD unwraps the underlying untyped dataset (advanced use).
+func (d Dataset[T]) RDD() *rdd.RDD { return d.r }
+
+// Cache marks the dataset for executor-memory caching.
+func (d Dataset[T]) Cache() Dataset[T] {
+	d.r.Cache()
+	return d
+}
+
+// Partitions returns the dataset's partition count.
+func (d Dataset[T]) Partitions() int { return d.r.Parts }
+
+// Source creates a generator-backed dataset: gen materialises one
+// partition. costPerRow models producing/parsing a row; rowBytes its
+// serialized size.
+func Source[T any](c *Context, name string, parts int, gen func(part int) []T, costPerRow float64, rowBytes int) Dataset[T] {
+	r := c.inner.Source(name, parts, func(p int) []rdd.Row {
+		rows := gen(p)
+		out := make([]rdd.Row, len(rows))
+		for i, v := range rows {
+			out[i] = v
+		}
+		return out
+	}, costPerRow, rowBytes)
+	return Dataset[T]{ctx: c, r: r}
+}
+
+// Map applies f to every row.
+func Map[T, U any](d Dataset[T], name string, f func(T) U, costPerRow float64, rowBytes int) Dataset[U] {
+	r := d.r.Map(name, func(row rdd.Row) rdd.Row { return f(row.(T)) }, costPerRow, rowBytes)
+	return Dataset[U]{ctx: d.ctx, r: r}
+}
+
+// Filter keeps rows where pred holds.
+func Filter[T any](d Dataset[T], name string, pred func(T) bool, costPerRow float64) Dataset[T] {
+	r := d.r.Filter(name, func(row rdd.Row) bool { return pred(row.(T)) }, costPerRow)
+	return Dataset[T]{ctx: d.ctx, r: r}
+}
+
+// FlatMap applies f to every row and concatenates the results.
+func FlatMap[T, U any](d Dataset[T], name string, f func(T) []U, costPerRow float64, rowBytes int) Dataset[U] {
+	r := d.r.FlatMap(name, func(row rdd.Row) []rdd.Row {
+		us := f(row.(T))
+		out := make([]rdd.Row, len(us))
+		for i, u := range us {
+			out[i] = u
+		}
+		return out
+	}, costPerRow, rowBytes)
+	return Dataset[U]{ctx: d.ctx, r: r}
+}
+
+// MapPartitions applies f to whole partitions.
+func MapPartitions[T, U any](d Dataset[T], name string, f func(part int, in []T) []U, costPerRow float64, rowBytes int) Dataset[U] {
+	r := d.r.MapPartitions(name, func(part int, in []rdd.Row) []rdd.Row {
+		typed := make([]T, len(in))
+		for i, row := range in {
+			typed[i] = row.(T)
+		}
+		us := f(part, typed)
+		out := make([]rdd.Row, len(us))
+		for i, u := range us {
+			out[i] = u
+		}
+		return out
+	}, costPerRow, rowBytes)
+	return Dataset[U]{ctx: d.ctx, r: r}
+}
+
+// ReduceByKey shuffles pairs by key and merges values with merge (with a
+// map-side combiner, like Spark's reduceByKey).
+func ReduceByKey[K Key, V any](d Dataset[Pair[K, V]], name string, parts int, merge func(a, b V) V, costPerRow float64, rowBytes int) Dataset[Pair[K, V]] {
+	r := d.r.ReduceByKey(name, parts,
+		func(row rdd.Row) rdd.Key { return row.(Pair[K, V]).K },
+		func(a, b rdd.Row) rdd.Row {
+			pa, pb := a.(Pair[K, V]), b.(Pair[K, V])
+			return Pair[K, V]{K: pa.K, V: merge(pa.V, pb.V)}
+		}, costPerRow, rowBytes)
+	return Dataset[Pair[K, V]]{ctx: d.ctx, r: r}
+}
+
+// GroupByKey shuffles pairs by key and gathers each key's values (no
+// combining — full data motion).
+func GroupByKey[K Key, V any](d Dataset[Pair[K, V]], name string, parts int, costPerRow float64, rowBytes int) Dataset[Pair[K, []V]] {
+	r := d.r.Exchange(name, parts,
+		func(row rdd.Row) rdd.Key { return row.(Pair[K, V]).K },
+		func(_ int, groups []rdd.Group) []rdd.Row {
+			out := make([]rdd.Row, len(groups))
+			for i, g := range groups {
+				vals := make([]V, len(g.Rows))
+				for j, row := range g.Rows {
+					vals[j] = row.(Pair[K, V]).V
+				}
+				out[i] = Pair[K, []V]{K: g.Key.(K), V: vals}
+			}
+			return out
+		}, costPerRow, rowBytes)
+	return Dataset[Pair[K, []V]]{ctx: d.ctx, r: r}
+}
+
+// Join inner-joins two keyed datasets, emitting f(key, left, right) for
+// every matching value pair.
+func Join[K Key, L, R, O any](l Dataset[Pair[K, L]], r Dataset[Pair[K, R]], name string, parts int, f func(K, L, R) O, costPerRow float64, rowBytes int) Dataset[O] {
+	out := l.r.Join(r.r, name, parts,
+		func(row rdd.Row) rdd.Key { return row.(Pair[K, L]).K },
+		func(row rdd.Row) rdd.Key { return row.(Pair[K, R]).K },
+		func(a, b rdd.Row) rdd.Row {
+			pa, pb := a.(Pair[K, L]), b.(Pair[K, R])
+			return f(pa.K, pa.V, pb.V)
+		}, costPerRow, rowBytes)
+	return Dataset[O]{ctx: l.ctx, r: out}
+}
+
+// typedWorkload adapts a dataset-building function to workloads.Workload.
+type typedWorkload[T any] struct {
+	name        string
+	parallelism int
+	slo         time.Duration
+	build       func(*Context) Dataset[T]
+	digest      func([]T) string
+}
+
+// AsWorkload wraps a typed dataflow as a workload runnable under any
+// splitserve scenario. build constructs the plan; digest summarises the
+// collected result for the run report (nil = row count).
+func AsWorkload[T any](name string, parallelism int, slo time.Duration, build func(*Context) Dataset[T], digest func([]T) string) workloads.Workload {
+	if name == "" || parallelism <= 0 || build == nil {
+		panic("dataset: invalid workload")
+	}
+	if digest == nil {
+		digest = func(rows []T) string { return fmt.Sprintf("%d rows", len(rows)) }
+	}
+	return &typedWorkload[T]{
+		name: name, parallelism: parallelism, slo: slo,
+		build: build, digest: digest,
+	}
+}
+
+// Name implements workloads.Workload.
+func (w *typedWorkload[T]) Name() string { return w.name }
+
+// DefaultParallelism implements workloads.Workload.
+func (w *typedWorkload[T]) DefaultParallelism() int { return w.parallelism }
+
+// SLO implements workloads.Workload.
+func (w *typedWorkload[T]) SLO() time.Duration { return w.slo }
+
+// Run implements workloads.Workload.
+func (w *typedWorkload[T]) Run(c *engine.Cluster) (*workloads.Report, error) {
+	return workloads.Timed(c, w.name, func() (string, int, error) {
+		d := w.build(NewContext())
+		job, err := c.RunJob(d.r, w.name)
+		if err != nil {
+			return "", 0, err
+		}
+		rows := job.Rows()
+		typed := make([]T, len(rows))
+		for i, row := range rows {
+			v, ok := row.(T)
+			if !ok {
+				return "", 1, fmt.Errorf("dataset: result row %d is %T", i, row)
+			}
+			typed[i] = v
+		}
+		return w.digest(typed), 1, nil
+	})
+}
+
+// Distinct returns the distinct rows of a keyed projection of d.
+func Distinct[T any, K Key](d Dataset[T], name string, parts int, key func(T) K, costPerRow float64) Dataset[T] {
+	r := d.r.Distinct(name, parts, func(row rdd.Row) rdd.Key { return key(row.(T)) }, costPerRow)
+	return Dataset[T]{ctx: d.ctx, r: r}
+}
+
+// Sample keeps approximately frac of the rows, deterministically by key
+// hash.
+func Sample[T any, K Key](d Dataset[T], name string, frac float64, key func(T) K, costPerRow float64) Dataset[T] {
+	r := d.r.Sample(name, frac, func(row rdd.Row) rdd.Key { return key(row.(T)) }, costPerRow)
+	return Dataset[T]{ctx: d.ctx, r: r}
+}
+
+// CountByKey counts rows per key.
+func CountByKey[T any, K Key](d Dataset[T], name string, parts int, key func(T) K, costPerRow float64) Dataset[Pair[K, int]] {
+	keyed := Map(d, name+"-pair", func(v T) Pair[K, int] {
+		return Pair[K, int]{K: key(v), V: 1}
+	}, costPerRow/2, 16)
+	return ReduceByKey(keyed, name, parts, func(a, b int) int { return a + b }, costPerRow/2, 16)
+}

@@ -1,0 +1,221 @@
+package dataset_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve"
+	"splitserve/dataset"
+)
+
+// wordCount is the canonical typed dataflow used across these tests.
+func wordCount(parts int) func(*dataset.Context) dataset.Dataset[dataset.Pair[string, int]] {
+	corpus := []string{"the", "quick", "brown", "fox", "the", "lazy", "dog", "the"}
+	return func(c *dataset.Context) dataset.Dataset[dataset.Pair[string, int]] {
+		words := dataset.Source(c, "words", parts, func(p int) []string {
+			var out []string
+			for i, w := range corpus {
+				if i%parts == p {
+					out = append(out, w)
+				}
+			}
+			return out
+		}, 10, 8)
+		pairs := dataset.Map(words, "pair", func(w string) dataset.Pair[string, int] {
+			return dataset.Pair[string, int]{K: w, V: 1}
+		}, 2, 16)
+		return dataset.ReduceByKey(pairs, "count", parts,
+			func(a, b int) int { return a + b }, 2, 16)
+	}
+}
+
+func runTyped[T any](t *testing.T, build func(*dataset.Context) dataset.Dataset[T], digest func([]T) string) *splitserve.Result {
+	t.Helper()
+	w := dataset.AsWorkload("typed-test", 4, time.Minute, build, digest)
+	res, err := splitserve.Run(splitserve.ScenarioSSFullVM, w, splitserve.WithCores(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWordCount(t *testing.T) {
+	res := runTyped(t, wordCount(4), func(rows []dataset.Pair[string, int]) string {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].K < rows[j].K })
+		var parts []string
+		for _, r := range rows {
+			parts = append(parts, fmt.Sprintf("%s=%d", r.K, r.V))
+		}
+		return strings.Join(parts, " ")
+	})
+	want := "brown=1 dog=1 fox=1 lazy=1 quick=1 the=3"
+	if res.Answer != want {
+		t.Fatalf("answer = %q, want %q", res.Answer, want)
+	}
+}
+
+func TestFilterAndFlatMap(t *testing.T) {
+	res := runTyped(t, func(c *dataset.Context) dataset.Dataset[int] {
+		nums := dataset.Source(c, "nums", 4, func(p int) []int {
+			return []int{p * 10, p*10 + 1, p*10 + 2}
+		}, 1, 8)
+		evens := dataset.Filter(nums, "evens", func(n int) bool { return n%2 == 0 }, 1)
+		return dataset.FlatMap(evens, "dup", func(n int) []int { return []int{n, n} }, 1, 8)
+	}, nil)
+	if !strings.Contains(res.Answer, "16 rows") { // 8 evens duplicated
+		t.Fatalf("answer = %q", res.Answer)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	res := runTyped(t, func(c *dataset.Context) dataset.Dataset[dataset.Pair[int, []string]] {
+		src := dataset.Source(c, "kv", 2, func(p int) []dataset.Pair[int, string] {
+			return []dataset.Pair[int, string]{
+				{K: p, V: "a"}, {K: p, V: "b"}, {K: 9, V: "x"},
+			}
+		}, 1, 16)
+		return dataset.GroupByKey(src, "grp", 2, 1, 24)
+	}, func(rows []dataset.Pair[int, []string]) string {
+		total := 0
+		for _, r := range rows {
+			total += len(r.V)
+		}
+		return fmt.Sprintf("%d keys %d values", len(rows), total)
+	})
+	if res.Answer != "3 keys 6 values" {
+		t.Fatalf("answer = %q", res.Answer)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	res := runTyped(t, func(c *dataset.Context) dataset.Dataset[string] {
+		users := dataset.Source(c, "users", 2, func(p int) []dataset.Pair[int, string] {
+			return []dataset.Pair[int, string]{{K: p, V: fmt.Sprintf("user%d", p)}}
+		}, 1, 16)
+		orders := dataset.Source(c, "orders", 2, func(p int) []dataset.Pair[int, int] {
+			return []dataset.Pair[int, int]{{K: p, V: 100 + p}}
+		}, 1, 16)
+		return dataset.Join(users, orders, "join", 2,
+			func(k int, name string, amt int) string {
+				return fmt.Sprintf("%s:%d", name, amt)
+			}, 1, 24)
+	}, func(rows []string) string {
+		sort.Strings(rows)
+		return strings.Join(rows, ",")
+	})
+	if res.Answer != "user0:100,user1:101" {
+		t.Fatalf("answer = %q", res.Answer)
+	}
+}
+
+func TestMapPartitionsAndCache(t *testing.T) {
+	build := func(c *dataset.Context) dataset.Dataset[int] {
+		src := dataset.Source(c, "nums", 4, func(p int) []int {
+			out := make([]int, 100)
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		}, 50, 8).Cache()
+		return dataset.MapPartitions(src, "sum", func(_ int, in []int) []int {
+			s := 0
+			for _, v := range in {
+				s += v
+			}
+			return []int{s}
+		}, 1, 8)
+	}
+	res := runTyped(t, build, func(rows []int) string {
+		total := 0
+		for _, v := range rows {
+			total += v
+		}
+		return fmt.Sprintf("sum=%d", total)
+	})
+	if res.Answer != fmt.Sprintf("sum=%d", 4*4950) {
+		t.Fatalf("answer = %q", res.Answer)
+	}
+}
+
+func TestTypedWorkloadUnderHybridScenario(t *testing.T) {
+	w := dataset.AsWorkload("typed-hybrid", 8, time.Minute, wordCount(8), nil)
+	res, err := splitserve.Run(splitserve.ScenarioHybrid, w, splitserve.WithCores(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LambdaExecutors == 0 {
+		t.Fatal("typed workload did not run on lambdas")
+	}
+	if !strings.Contains(res.Answer, "rows") {
+		t.Fatalf("answer = %q", res.Answer)
+	}
+}
+
+func TestAsWorkloadValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	dataset.AsWorkload[int]("", 0, 0, nil, nil)
+}
+
+func TestPartitionsAccessor(t *testing.T) {
+	c := dataset.NewContext()
+	d := dataset.Source(c, "s", 7, func(int) []int { return nil }, 1, 8)
+	if d.Partitions() != 7 {
+		t.Fatalf("Partitions = %d", d.Partitions())
+	}
+	if d.RDD() == nil {
+		t.Fatal("RDD accessor nil")
+	}
+}
+
+func TestDistinctSampleCount(t *testing.T) {
+	build := func(c *dataset.Context) dataset.Dataset[dataset.Pair[int, int]] {
+		nums := dataset.Source(c, "nums", 4, func(p int) []int {
+			out := make([]int, 1000)
+			for i := range out {
+				out[i] = i % 50 // heavy duplication
+			}
+			return out
+		}, 1, 8)
+		distinct := dataset.Distinct(nums, "distinct", 4, func(n int) int { return n }, 1)
+		return dataset.CountByKey(distinct, "count", 2, func(n int) int { return n % 2 }, 1)
+	}
+	res := runTyped(t, build, func(rows []dataset.Pair[int, int]) string {
+		total := 0
+		for _, r := range rows {
+			total += r.V
+		}
+		return fmt.Sprintf("%d distinct", total)
+	})
+	if res.Answer != "50 distinct" {
+		t.Fatalf("answer = %q", res.Answer)
+	}
+}
+
+func TestSampleTyped(t *testing.T) {
+	build := func(c *dataset.Context) dataset.Dataset[int] {
+		nums := dataset.Source(c, "nums", 2, func(p int) []int {
+			out := make([]int, 5000)
+			for i := range out {
+				out[i] = p*5000 + i
+			}
+			return out
+		}, 1, 8)
+		return dataset.Sample(nums, "sample", 0.1, func(n int) int { return n }, 1)
+	}
+	res := runTyped(t, build, nil)
+	if !strings.Contains(res.Answer, "rows") {
+		t.Fatalf("answer = %q", res.Answer)
+	}
+	var n int
+	fmt.Sscanf(res.Answer, "%d rows", &n)
+	if n < 700 || n > 1300 {
+		t.Fatalf("sample kept %d of 10000, want ~1000", n)
+	}
+}

@@ -1,0 +1,63 @@
+// kmeans-allocation explores the paper's K-means findings (Figure 8):
+// under-provisioning is catastrophic (cache thrash makes 4 cores ~10x
+// slower, not 4x), VM autoscaling recovers only partially because early
+// waves already ran on overloaded executors, and for this resource-
+// constrained, compute-heavy workload an all-Lambda SplitServe run is the
+// better buy — the paper's point that the best substrate mix is
+// workload-dependent.
+//
+//	go run ./examples/kmeans-allocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splitserve"
+)
+
+func main() {
+	w := splitserve.KMeans(splitserve.KMeansOptions{
+		Points:     3_000_000,
+		Dims:       20,
+		K:          10,
+		Partitions: 16,
+	})
+
+	type row struct {
+		kind  splitserve.ScenarioKind
+		label string
+	}
+	rows := []row{
+		{splitserve.ScenarioSparkFull, "Spark, 16 VM cores (reference)"},
+		{splitserve.ScenarioSparkSmall, "Spark, only 4 VM cores"},
+		{splitserve.ScenarioSparkAutoscale, "Spark, 4 cores + VM autoscaling"},
+		{splitserve.ScenarioSSLambda, "SplitServe, 16 Lambdas"},
+		{splitserve.ScenarioHybrid, "SplitServe, 4 VM + 12 Lambdas"},
+	}
+
+	fmt.Println("K-means clustering, 16 cores desired, 4 free (1 GB executors):")
+	var ref, small float64
+	for _, r := range rows {
+		res, err := splitserve.Run(r.kind, w,
+			splitserve.WithCores(16, 4),
+			splitserve.WithWorkerType(splitserve.M44XLarge),
+			// spark.executor.memory=1g: ample for 16-way caching of the
+			// points dataset, thrashing when 4 executors hold it all.
+			splitserve.WithExecutorMemoryMB(1024),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-36s %10v  $%.4f   %s\n", r.label, res.ExecTime, res.CostUSD, res.Answer)
+		switch r.kind {
+		case splitserve.ScenarioSparkFull:
+			ref = res.ExecTime.Seconds()
+		case splitserve.ScenarioSparkSmall:
+			small = res.ExecTime.Seconds()
+		}
+	}
+	fmt.Println()
+	fmt.Printf("Under-provisioning penalty: %.1fx — superlinear, because the cached\n", small/ref)
+	fmt.Println("dataset no longer fits 4 executors and every iteration recomputes it.")
+}

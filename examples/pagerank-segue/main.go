@@ -1,0 +1,51 @@
+// pagerank-segue demonstrates the segueing facility on the paper's
+// shuffle-heavy PageRank workload (Figures 6 and 7): the job starts on
+// 3 VM cores plus 13 Lambdas; at 45 s, replacement VM cores become
+// available and SplitServe gracefully drains the Lambdas — no task
+// failures, no lineage rollback — finishing the job on VMs.
+//
+//	go run ./examples/pagerank-segue
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"splitserve"
+)
+
+func main() {
+	w := splitserve.PageRank(splitserve.PageRankOptions{
+		Pages:      850_000,
+		Partitions: 16,
+		Iterations: 2,
+	})
+
+	noSegue, err := splitserve.Run(splitserve.ScenarioHybrid, w,
+		splitserve.WithCores(16, 3),
+		splitserve.WithWorkerType(splitserve.M44XLarge),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	segue, err := splitserve.Run(splitserve.ScenarioHybridSegue, w,
+		splitserve.WithCores(16, 3),
+		splitserve.WithWorkerType(splitserve.M44XLarge),
+		splitserve.WithSegueAt(45*time.Second),
+		splitserve.WithLambdaTimeout(40*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("PageRank 850k pages, 3 VM cores free, 13 Lambdas bridging:")
+	fmt.Printf("  hybrid, no segue: %v, $%.4f\n", noSegue.ExecTime, noSegue.CostUSD)
+	fmt.Printf("  hybrid + segue:   %v, $%.4f (Lambdas drained once VM cores arrived)\n",
+		segue.ExecTime, segue.CostUSD)
+	fmt.Println()
+	fmt.Println("Timeline with segue ('|' marks segue commencement; the Lambda rows go")
+	fmt.Println("idle after it while fresh VM executors take over):")
+	fmt.Print(segue.Timeline(100))
+}

@@ -1,0 +1,53 @@
+// Quickstart: run one PageRank job under SplitServe's hybrid launching
+// facility and print what you would care about as a tenant — execution
+// time, marginal dollar cost, and the executor mix.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"splitserve"
+)
+
+func main() {
+	// A latency-critical PageRank job wants 16 cores, but only 3 cores are
+	// free on the cluster's VMs right now. SplitServe bridges the other 13
+	// with Lambdas instead of waiting ~2 minutes for new VMs.
+	w := splitserve.PageRank(splitserve.PageRankOptions{
+		Pages:      850_000,
+		Partitions: 16,
+		Iterations: 3,
+	})
+
+	hybrid, err := splitserve.Run(splitserve.ScenarioHybrid, w,
+		splitserve.WithCores(16, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The two baselines the paper compares against.
+	underProvisioned, err := splitserve.Run(splitserve.ScenarioSparkSmall, w,
+		splitserve.WithCores(16, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	autoscale, err := splitserve.Run(splitserve.ScenarioSparkAutoscale, w,
+		splitserve.WithCores(16, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("PageRank, 16 cores required, 3 free on VMs:")
+	fmt.Printf("  vanilla Spark on 3 cores:   %v  ($%.4f)\n", underProvisioned.ExecTime, underProvisioned.CostUSD)
+	fmt.Printf("  vanilla + VM autoscaling:   %v  ($%.4f)\n", autoscale.ExecTime, autoscale.CostUSD)
+	fmt.Printf("  SplitServe hybrid:          %v  ($%.4f)  <- %d VM + %d Lambda executors\n",
+		hybrid.ExecTime, hybrid.CostUSD, hybrid.VMExecutors, hybrid.LambdaExecutors)
+	fmt.Println()
+	fmt.Println("computed result:", hybrid.Answer)
+	fmt.Println()
+	fmt.Println("per-executor timeline ('#' = task running):")
+	fmt.Print(hybrid.Timeline(90))
+}

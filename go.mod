@@ -1,0 +1,3 @@
+module splitserve
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package autoscale implements the paper's inter-job resource-management
+// layer (Section 4.1, Figure 2): a diurnal forecast of executor demand
+// with confidence bands, provisioning policies of the form m(t) + k·σ(t),
+// and the resulting shortfall moments that SplitServe bridges with
+// Lambdas versus the idle capacity a conservative policy strands. A cost
+// comparison across policies quantifies the paper's argument that
+// SplitServe lets the tenant buy fewer VMs and lambda-bridge the residual
+// risk.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"splitserve/internal/billing"
+	"splitserve/internal/simrand"
+)
+
+// SeriesConfig parameterises a synthetic workday demand curve.
+type SeriesConfig struct {
+	// Step is the sampling interval; Horizon the total span (a workday).
+	Step    time.Duration
+	Horizon time.Duration
+	// BaseCores is overnight demand; PeakCores the midday peak.
+	BaseCores float64
+	PeakCores float64
+	// SigmaFraction scales σ(t) relative to m(t).
+	SigmaFraction float64
+	// NoisePhi is the AR(1) coefficient of actual demand around m(t).
+	NoisePhi float64
+	Seed     uint64
+}
+
+// DefaultSeriesConfig mirrors Figure 2's illustrative workday.
+func DefaultSeriesConfig() SeriesConfig {
+	return SeriesConfig{
+		Step:          5 * time.Minute,
+		Horizon:       24 * time.Hour,
+		BaseCores:     8,
+		PeakCores:     64,
+		SigmaFraction: 0.18,
+		NoisePhi:      0.7,
+		Seed:          4,
+	}
+}
+
+// Series is a sampled demand forecast plus one realised trace.
+type Series struct {
+	Step   time.Duration
+	Mean   []float64 // m(t)
+	Sigma  []float64 // σ(t)
+	Actual []float64 // w(t)
+}
+
+// Diurnal generates the Figure 2 series: a two-hump workday mean (late
+// morning and evening peaks), proportional uncertainty, and an AR(1)
+// realisation around the mean.
+func Diurnal(cfg SeriesConfig) *Series {
+	if cfg.Step <= 0 || cfg.Horizon <= 0 {
+		panic("autoscale: invalid series config")
+	}
+	n := int(cfg.Horizon / cfg.Step)
+	s := &Series{
+		Step:   cfg.Step,
+		Mean:   make([]float64, n),
+		Sigma:  make([]float64, n),
+		Actual: make([]float64, n),
+	}
+	rng := simrand.New(cfg.Seed)
+	z := 0.0
+	for i := 0; i < n; i++ {
+		hour := float64(i) * cfg.Step.Hours()
+		s.Mean[i] = cfg.BaseCores + (cfg.PeakCores-cfg.BaseCores)*dayShape(hour)
+		s.Sigma[i] = cfg.SigmaFraction * s.Mean[i]
+		z = cfg.NoisePhi*z + rng.Normal(0, 1)*math.Sqrt(1-cfg.NoisePhi*cfg.NoisePhi)
+		s.Actual[i] = math.Max(0, s.Mean[i]+z*s.Sigma[i])
+	}
+	return s
+}
+
+// dayShape maps an hour-of-day to [0,1]: quiet overnight, a late-morning
+// peak, a lunch dip, and an evening shoulder.
+func dayShape(hour float64) float64 {
+	h := math.Mod(hour, 24)
+	morning := math.Exp(-math.Pow(h-11, 2) / 8)
+	evening := 0.7 * math.Exp(-math.Pow(h-19, 2)/10)
+	v := morning + evening
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Mean) }
+
+// Provisioned returns the capacity a policy m(t) + k·σ(t) buys at sample
+// i, rounded up to whole cores.
+func (s *Series) Provisioned(i int, k float64) int {
+	return int(math.Ceil(s.Mean[i] + k*s.Sigma[i]))
+}
+
+// Shortfalls returns the sample indices where actual demand exceeds the
+// policy's provisioned capacity — the paper's t1 moments where SplitServe
+// launches Lambdas.
+func (s *Series) Shortfalls(k float64) []int {
+	var out []int
+	for i := range s.Actual {
+		if s.Actual[i] > float64(s.Provisioned(i, k)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IdleCoreHours returns the core-hours of provisioned-but-unused capacity
+// under policy k — the paper's t2 waste.
+func (s *Series) IdleCoreHours(k float64) float64 {
+	total := 0.0
+	for i := range s.Actual {
+		idle := float64(s.Provisioned(i, k)) - s.Actual[i]
+		if idle > 0 {
+			total += idle * s.Step.Hours()
+		}
+	}
+	return total
+}
+
+// ShortfallCoreHours returns the core-hours of demand above provisioned
+// capacity under policy k (what must be lambda-bridged or dropped).
+func (s *Series) ShortfallCoreHours(k float64) float64 {
+	total := 0.0
+	for i := range s.Actual {
+		gap := s.Actual[i] - float64(s.Provisioned(i, k))
+		if gap > 0 {
+			total += gap * s.Step.Hours()
+		}
+	}
+	return total
+}
+
+// PolicyCost estimates the daily cost of provisioning policy k: VM cores
+// at vCPUPricePerHour plus, if bridging, every shortfall core-hour served
+// by 1536 MB Lambdas (the SplitServe strategy). Without bridging the
+// shortfall is an SLO-violation count instead.
+type PolicyCost struct {
+	K                  float64
+	VMCoreHours        float64
+	ShortfallCoreHours float64
+	VMCostUSD          float64
+	LambdaCostUSD      float64
+	TotalUSD           float64
+	ShortfallSamples   int
+}
+
+// EvaluatePolicy prices one provisioning policy over the series.
+func (s *Series) EvaluatePolicy(k, vCPUPricePerHour float64) PolicyCost {
+	pc := PolicyCost{K: k}
+	for i := range s.Actual {
+		pc.VMCoreHours += float64(s.Provisioned(i, k)) * s.Step.Hours()
+	}
+	pc.ShortfallCoreHours = s.ShortfallCoreHours(k)
+	pc.ShortfallSamples = len(s.Shortfalls(k))
+	pc.VMCostUSD = pc.VMCoreHours * vCPUPricePerHour
+	// Lambda bridging: GB-seconds for 1.5 GB per shortfall core.
+	pc.LambdaCostUSD = pc.ShortfallCoreHours * 3600 * 1.5 * billing.LambdaGBSecondUSD
+	pc.TotalUSD = pc.VMCostUSD + pc.LambdaCostUSD
+	return pc
+}
+
+// String renders the policy cost.
+func (p PolicyCost) String() string {
+	return fmt.Sprintf("k=%.1f: vm=%.1f core-h ($%.2f) + lambda-bridge=%.2f core-h ($%.2f) = $%.2f (%d shortfall samples)",
+		p.K, p.VMCoreHours, p.VMCostUSD, p.ShortfallCoreHours, p.LambdaCostUSD, p.TotalUSD, p.ShortfallSamples)
+}

@@ -1,0 +1,121 @@
+package autoscale
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiurnalShape(t *testing.T) {
+	s := Diurnal(DefaultSeriesConfig())
+	if s.Len() != 288 {
+		t.Fatalf("samples = %d, want 288 (24h at 5min)", s.Len())
+	}
+	// Overnight trough well below midday peak.
+	night := s.Mean[36]   // 03:00
+	midday := s.Mean[132] // 11:00
+	if night >= midday/3 {
+		t.Fatalf("no diurnal shape: night=%.1f midday=%.1f", night, midday)
+	}
+	for i := range s.Mean {
+		if s.Mean[i] < 0 || s.Sigma[i] < 0 || s.Actual[i] < 0 {
+			t.Fatalf("negative values at %d", i)
+		}
+	}
+}
+
+func TestDeterministicSeries(t *testing.T) {
+	a := Diurnal(DefaultSeriesConfig())
+	b := Diurnal(DefaultSeriesConfig())
+	for i := range a.Actual {
+		if a.Actual[i] != b.Actual[i] {
+			t.Fatal("series not deterministic")
+		}
+	}
+}
+
+func TestHigherKFewerShortfallsMoreIdle(t *testing.T) {
+	s := Diurnal(DefaultSeriesConfig())
+	short0 := len(s.Shortfalls(0))
+	short2 := len(s.Shortfalls(2))
+	if short0 <= short2 {
+		t.Fatalf("shortfalls: k=0 %d vs k=2 %d; bands ineffective", short0, short2)
+	}
+	if short0 == 0 {
+		t.Fatal("k=0 policy has no shortfalls; noise too small")
+	}
+	idle0 := s.IdleCoreHours(0)
+	idle2 := s.IdleCoreHours(2)
+	if idle2 <= idle0 {
+		t.Fatalf("idle: k=2 %.1f <= k=0 %.1f", idle2, idle0)
+	}
+}
+
+func TestPaperFigure2Moments(t *testing.T) {
+	// The figure's premise: even m+2σ sees occasional shortfall (t1), and
+	// m-2σ strands capacity (t2 idling is represented by idle hours > 0).
+	s := Diurnal(DefaultSeriesConfig())
+	if len(s.Shortfalls(2)) == 0 {
+		t.Fatal("m+2σ never falls short over a day; Figure 2's t1 moment missing")
+	}
+	if s.IdleCoreHours(-2) <= 0 {
+		t.Fatal("even m-2σ has no idle capacity")
+	}
+}
+
+func TestPolicyCostTradeoff(t *testing.T) {
+	s := Diurnal(DefaultSeriesConfig())
+	aggressive := s.EvaluatePolicy(0, 0.05)
+	conservative := s.EvaluatePolicy(2, 0.05)
+	if aggressive.VMCostUSD >= conservative.VMCostUSD {
+		t.Fatal("aggressive policy should buy fewer VM core-hours")
+	}
+	if aggressive.LambdaCostUSD <= conservative.LambdaCostUSD {
+		t.Fatal("aggressive policy should bridge more with lambdas")
+	}
+	if aggressive.TotalUSD <= 0 || conservative.TotalUSD <= 0 {
+		t.Fatal("degenerate costs")
+	}
+	if aggressive.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: shortfall + served demand decomposition — provisioned capacity
+// plus shortfall always covers actual demand.
+func TestQuickCoverage(t *testing.T) {
+	prop := func(seed uint64, kTenths int8) bool {
+		cfg := DefaultSeriesConfig()
+		cfg.Seed = seed
+		k := float64(kTenths%40) / 10
+		s := Diurnal(cfg)
+		for i := range s.Actual {
+			cap := float64(s.Provisioned(i, k))
+			gap := s.Actual[i] - cap
+			if gap > 0 {
+				found := false
+				for _, idx := range s.Shortfalls(k) {
+					if idx == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Diurnal(SeriesConfig{})
+}

@@ -1,0 +1,150 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+
+	"splitserve/internal/simrand"
+)
+
+func TestSimulateDayBasics(t *testing.T) {
+	res := SimulateDay(DefaultDayConfig(StrategyQueue, 0))
+	if res.Jobs == 0 {
+		t.Fatal("no jobs arrived all day")
+	}
+	if res.VMBaseUSD <= 0 || res.TotalUSD < res.VMBaseUSD {
+		t.Fatalf("degenerate costs: %+v", res)
+	}
+	if res.MeanStretch < 1 {
+		t.Fatalf("mean stretch %v < 1", res.MeanStretch)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestBridgingEliminatesMostViolations(t *testing.T) {
+	queue := SimulateDay(DefaultDayConfig(StrategyQueue, 0))
+	bridge := SimulateDay(DefaultDayConfig(StrategyBridge, 0))
+	if queue.SLOViolations == 0 {
+		t.Fatal("queueing strategy shows no violations; demand too tame")
+	}
+	if bridge.SLOViolations != 0 {
+		t.Fatalf("lambda bridging left %d violations (hybrid slowdown < SLO factor)", bridge.SLOViolations)
+	}
+	if bridge.LambdaUSD <= 0 {
+		t.Fatal("bridging billed no lambda time")
+	}
+}
+
+func TestAutoscaleBetweenQueueAndBridge(t *testing.T) {
+	queue := SimulateDay(DefaultDayConfig(StrategyQueue, 0))
+	auto := SimulateDay(DefaultDayConfig(StrategyAutoscale, 0))
+	bridge := SimulateDay(DefaultDayConfig(StrategyBridge, 0))
+	if !(auto.MeanStretch < queue.MeanStretch) {
+		t.Fatalf("autoscale stretch %.2f not below queue %.2f", auto.MeanStretch, queue.MeanStretch)
+	}
+	if !(bridge.MeanStretch < auto.MeanStretch) {
+		t.Fatalf("bridge stretch %.2f not below autoscale %.2f", bridge.MeanStretch, auto.MeanStretch)
+	}
+}
+
+func TestBridgingEconomics(t *testing.T) {
+	// The paper's economic argument (Section 4.1): instead of "always
+	// provisioning for the worst-case needs", provision diurnally and
+	// lambda-bridge the residual risk.
+	worst := DefaultDayConfig(StrategyQueue, 2)
+	worst.StaticWorstCase = true
+	worstCase := SimulateDay(worst)
+	moderate := SimulateDay(DefaultDayConfig(StrategyBridge, 1))
+	if moderate.TotalUSD >= worstCase.TotalUSD {
+		t.Fatalf("diurnal+bridge $%.2f not cheaper than worst-case static $%.2f",
+			moderate.TotalUSD, worstCase.TotalUSD)
+	}
+	if moderate.SLOViolations > worstCase.SLOViolations {
+		t.Fatalf("cheaper policy has more violations: %d vs %d",
+			moderate.SLOViolations, worstCase.SLOViolations)
+	}
+	// Against a diurnal m+2σ policy the trade is violations-vs-dollars:
+	// bridging costs somewhat more but eliminates the SLO misses.
+	conservative := SimulateDay(DefaultDayConfig(StrategyQueue, 2))
+	if conservative.SLOViolations == 0 {
+		t.Fatal("diurnal m+2σ policy shows no violations; Figure 2's t1 premise missing")
+	}
+	if moderate.SLOViolations != 0 {
+		t.Fatalf("bridging left %d violations", moderate.SLOViolations)
+	}
+	// Footnote 8's limit: max-aggressive bridging pays more in Lambdas
+	// than the moderate policy does.
+	extreme := SimulateDay(DefaultDayConfig(StrategyBridge, 0))
+	if extreme.LambdaUSD <= moderate.LambdaUSD {
+		t.Fatalf("k=0 lambda bill $%.2f not above k=1's $%.2f", extreme.LambdaUSD, moderate.LambdaUSD)
+	}
+}
+
+func TestCompareDayStrategies(t *testing.T) {
+	rows := CompareDayStrategies(4)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Jobs
+		if r.TotalUSD <= 0 {
+			t.Fatalf("zero cost row: %+v", r)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no jobs simulated")
+	}
+}
+
+func TestDaySimDeterministic(t *testing.T) {
+	a := SimulateDay(DefaultDayConfig(StrategyBridge, 0))
+	b := SimulateDay(DefaultDayConfig(StrategyBridge, 0))
+	if a != b {
+		t.Fatalf("nondeterministic day sim:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := newTestRNG()
+	const mean = 7.5
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, mean))
+	}
+	got := sum / float64(n)
+	if math.Abs(got-mean) > 0.15 {
+		t.Fatalf("poisson mean = %v, want ~%v", got, mean)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+	// Large-mean path.
+	big := poisson(rng, 1000)
+	if big < 800 || big > 1200 {
+		t.Fatalf("poisson(1000) = %d", big)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := quantile(xs, 0.99); q != 5 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	// Input must be untouched.
+	if xs[0] != 5 {
+		t.Fatal("quantile mutated input")
+	}
+}
+
+// newTestRNG gives tests a deterministic generator.
+func newTestRNG() *simrand.RNG { return simrand.New(99) }

@@ -1,0 +1,101 @@
+package cloud
+
+import (
+	"time"
+)
+
+// Burstable instances (the t3 family) — the substrate behind BurScale [7],
+// which the paper discusses as a complementary remedy for transient
+// overload: standby burstables absorb spikes while regular VMs boot. Their
+// catch is the CPU-credit economy: a t3 core runs at its baseline fraction
+// unless credits are available, and an exhausted standby is little better
+// than the overloaded cluster it is meant to relieve. The extension
+// benchmark (BenchmarkExtensionBurScale) compares this against SplitServe's
+// Lambdas.
+
+// T3Large mirrors the t3.large: 2 vCPUs at a 30% baseline.
+var T3Large = VMType{
+	Name: "t3.large", VCPUs: 2, MemGiB: 8,
+	EBSMbps: 695, NetMbps: 500, PricePerHour: 0.0832,
+}
+
+// T3BaselineFraction is the per-vCPU baseline CPU share of the t3 family
+// (t3.large: 30%).
+const T3BaselineFraction = 0.3
+
+// T3CreditsPerHourPerVCPU is the credit accrual rate (1 credit = 1
+// vCPU-minute at 100%).
+const T3CreditsPerHourPerVCPU = 24.0
+
+// CreditGauge tracks a burstable host's CPU-credit balance, shared by all
+// executors on the host. Credits are stored as vCPU-seconds of full-speed
+// burst above the baseline.
+type CreditGauge struct {
+	baseline   float64
+	accrualPS  float64 // vCPU-seconds of credit per wall second (whole host)
+	maxCredits float64
+	credits    float64
+	lastAt     time.Time
+}
+
+// NewCreditGauge returns a gauge for a host with the given vCPU count,
+// starting with initial vCPU-seconds of credit (BurScale keeps standbys
+// idle so they arrive with a healthy balance).
+func NewCreditGauge(t VMType, baseline float64, initialCredits float64, start time.Time) *CreditGauge {
+	accrual := T3CreditsPerHourPerVCPU * 60 * float64(t.VCPUs) / 3600  // vCPU-sec per sec
+	maxCredits := T3CreditsPerHourPerVCPU * 60 * float64(t.VCPUs) * 24 // a day's worth
+	return &CreditGauge{
+		baseline:   baseline,
+		accrualPS:  accrual,
+		maxCredits: maxCredits,
+		credits:    initialCredits,
+		lastAt:     start,
+	}
+}
+
+// Advance accrues credits up to now.
+func (g *CreditGauge) Advance(now time.Time) {
+	dt := now.Sub(g.lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	g.lastAt = now
+	g.credits += g.accrualPS * dt
+	if g.credits > g.maxCredits {
+		g.credits = g.maxCredits
+	}
+}
+
+// Credits returns the current balance (vCPU-seconds of full-speed burst).
+func (g *CreditGauge) Credits() float64 { return g.credits }
+
+// RunFor consumes the gauge for a task needing fullSpeedSeconds of one
+// vCPU at 100% and returns the wall-clock seconds it takes: full speed
+// while credits last (net depletion 1−baseline per busy second), baseline
+// speed afterwards.
+func (g *CreditGauge) RunFor(now time.Time, fullSpeedSeconds float64) float64 {
+	g.Advance(now)
+	if fullSpeedSeconds <= 0 {
+		return 0
+	}
+	burnRate := 1 - g.baseline
+	if burnRate <= 0 {
+		return fullSpeedSeconds
+	}
+	burstSeconds := g.credits / burnRate
+	if fullSpeedSeconds <= burstSeconds {
+		g.credits -= fullSpeedSeconds * burnRate
+		return fullSpeedSeconds
+	}
+	g.credits = 0
+	remaining := fullSpeedSeconds - burstSeconds
+	return burstSeconds + remaining/g.baseline
+}
+
+// ProvisionReadyBurstableVM provisions a ready burstable instance and
+// returns it with its credit gauge.
+func (p *Provider) ProvisionReadyBurstableVM(t VMType, baseline, initialCredits float64) (*VM, *CreditGauge) {
+	vm := p.ProvisionReadyVM(t)
+	gauge := NewCreditGauge(t, baseline, initialCredits, p.clock.Now())
+	return vm, gauge
+}

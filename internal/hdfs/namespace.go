@@ -1,0 +1,98 @@
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespace operations beyond the shuffle hot path: metadata queries and
+// renames, matching the corresponding HDFS client calls. All are
+// namenode-only (no data motion, no simulated time beyond the metadata
+// latency already charged on the data path).
+
+// FileInfo describes one file.
+type FileInfo struct {
+	Path     string
+	Size     int64
+	Blocks   int
+	Replicas int // replicas of the first block (uniform in practice)
+}
+
+// Stat returns metadata for path.
+func (c *Cluster) Stat(path string) (FileInfo, error) {
+	f, ok := c.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("stat %s: %w", path, ErrNotFound)
+	}
+	info := FileInfo{Path: path, Size: f.size, Blocks: len(f.blocks)}
+	if len(f.blocks) > 0 {
+		info.Replicas = len(f.blocks[0].replicas)
+	}
+	return info, nil
+}
+
+// Rename moves a file to a new path (metadata-only, like HDFS rename).
+func (c *Cluster) Rename(from, to string) error {
+	f, ok := c.files[from]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", from, ErrNotFound)
+	}
+	if _, exists := c.files[to]; exists {
+		return fmt.Errorf("rename to %s: %w", to, ErrExists)
+	}
+	delete(c.files, from)
+	f.path = to
+	c.files[to] = f
+	return nil
+}
+
+// RenamePrefix moves every file under fromPrefix to toPrefix (the
+// directory-rename idiom used for commit protocols). It returns the number
+// of files moved.
+func (c *Cluster) RenamePrefix(fromPrefix, toPrefix string) (int, error) {
+	var moves []string
+	for p := range c.files {
+		if strings.HasPrefix(p, fromPrefix) {
+			moves = append(moves, p)
+		}
+	}
+	sort.Strings(moves)
+	for _, p := range moves {
+		target := toPrefix + strings.TrimPrefix(p, fromPrefix)
+		if _, exists := c.files[target]; exists {
+			return 0, fmt.Errorf("rename to %s: %w", target, ErrExists)
+		}
+	}
+	for _, p := range moves {
+		target := toPrefix + strings.TrimPrefix(p, fromPrefix)
+		f := c.files[p]
+		delete(c.files, p)
+		f.path = target
+		c.files[target] = f
+	}
+	return len(moves), nil
+}
+
+// TotalBytes returns the logical bytes stored (before replication).
+func (c *Cluster) TotalBytes() int64 {
+	var total int64
+	for _, f := range c.files {
+		total += f.size
+	}
+	return total
+}
+
+// DataNodes returns the registered datanodes.
+func (c *Cluster) DataNodes() []*DataNode {
+	return append([]*DataNode(nil), c.nodes...)
+}
+
+// Usage summarises per-datanode stored bytes, sorted by node ID.
+func (c *Cluster) Usage() map[string]int64 {
+	out := make(map[string]int64, len(c.nodes))
+	for _, n := range c.nodes {
+		out[n.ID] = n.Used()
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package hdfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func writeFile(t *testing.T, f *fixture, path string, size int64) {
+	t.Helper()
+	f.fs.Write(path, nil, size, f.cl, func(err error) {
+		if err != nil {
+			t.Errorf("write %s: %v", path, err)
+		}
+	})
+	f.clock.Run()
+}
+
+func TestStat(t *testing.T) {
+	f := newFixture(DefaultOptions())
+	writeFile(t, f, "/a/b", 1234)
+	info, err := f.fs.Stat("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 1234 || info.Blocks != 1 || info.Replicas != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := f.fs.Stat("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat missing: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	f := newFixture(DefaultOptions())
+	writeFile(t, f, "/tmp/part-0", 100)
+	if err := f.fs.Rename("/tmp/part-0", "/out/part-0"); err != nil {
+		t.Fatal(err)
+	}
+	if f.fs.Exists("/tmp/part-0") || !f.fs.Exists("/out/part-0") {
+		t.Fatal("rename did not move the file")
+	}
+	if err := f.fs.Rename("/nope", "/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+	writeFile(t, f, "/occupied", 10)
+	writeFile(t, f, "/src", 10)
+	if err := f.fs.Rename("/src", "/occupied"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+}
+
+func TestRenamePrefixCommitIdiom(t *testing.T) {
+	f := newFixture(DefaultOptions())
+	writeFile(t, f, "/job/_temporary/part-0", 10)
+	writeFile(t, f, "/job/_temporary/part-1", 10)
+	writeFile(t, f, "/job/other", 10)
+	n, err := f.fs.RenamePrefix("/job/_temporary/", "/job/committed/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("moved %d, want 2", n)
+	}
+	if !f.fs.Exists("/job/committed/part-0") || !f.fs.Exists("/job/committed/part-1") {
+		t.Fatal("commit rename incomplete")
+	}
+	if !f.fs.Exists("/job/other") {
+		t.Fatal("unrelated file moved")
+	}
+	// Collision rolls back by refusing up front.
+	writeFile(t, f, "/dst/x", 10)
+	writeFile(t, f, "/src2/x", 10)
+	if _, err := f.fs.RenamePrefix("/src2/", "/dst/"); !errors.Is(err, ErrExists) {
+		t.Fatalf("prefix rename onto existing: %v", err)
+	}
+	if !f.fs.Exists("/src2/x") {
+		t.Fatal("failed prefix rename mutated namespace")
+	}
+}
+
+func TestTotalBytesAndUsage(t *testing.T) {
+	f := newFixture(DefaultOptions())
+	writeFile(t, f, "/a", 100)
+	writeFile(t, f, "/b", 200)
+	if got := f.fs.TotalBytes(); got != 300 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	usage := f.fs.Usage()
+	var sum int64
+	for _, v := range usage {
+		sum += v
+	}
+	if sum != 300 {
+		t.Fatalf("usage sums to %d", sum)
+	}
+	if len(f.fs.DataNodes()) != 1 {
+		t.Fatalf("datanodes = %d", len(f.fs.DataNodes()))
+	}
+}
+
+func TestStatAfterRenameKeepsBlocks(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BlockSize = 64
+	f := newFixture(opts)
+	writeFile(t, f, "/big", 200) // 4 blocks
+	if err := f.fs.Rename("/big", "/bigger"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.fs.Stat("/bigger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Blocks != 4 || info.Size != 200 {
+		t.Fatalf("info = %+v", info)
+	}
+}

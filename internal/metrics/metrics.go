@@ -1,0 +1,222 @@
+// Package metrics records the simulation event timeline: executor
+// registrations, task and stage spans, segue commencement, and job
+// boundaries. Figure 7 of the paper — per-scenario execution timelines with
+// executor start markers and the segue instant — is rendered from this log.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates event types.
+type Kind string
+
+// Event kinds.
+const (
+	JobStart           Kind = "job_start"
+	JobEnd             Kind = "job_end"
+	StageStart         Kind = "stage_start"
+	StageEnd           Kind = "stage_end"
+	TaskStart          Kind = "task_start"
+	TaskEnd            Kind = "task_end"
+	TaskFailed         Kind = "task_failed"
+	ExecutorRegistered Kind = "executor_registered"
+	ExecutorRemoved    Kind = "executor_removed"
+	ExecutorDraining   Kind = "executor_draining"
+	SegueCommence      Kind = "segue_commence"
+	VMRequested        Kind = "vm_requested"
+	VMReady            Kind = "vm_ready"
+	StageResubmitted   Kind = "stage_resubmitted"
+	TaskSpeculated     Kind = "task_speculated"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At       time.Time
+	Kind     Kind
+	Exec     string // executor ID if applicable
+	ExecKind string // "vm" or "lambda"
+	Stage    int    // -1 if n/a
+	Task     int    // -1 if n/a
+	Note     string
+}
+
+// Log is an append-only event log. The zero value is unusable; call New.
+type Log struct {
+	start  time.Time
+	events []Event
+}
+
+// New returns a Log whose relative timestamps are measured from start.
+func New(start time.Time) *Log { return &Log{start: start} }
+
+// Start returns the log's origin instant.
+func (l *Log) Start() time.Time { return l.start }
+
+// Add appends an event.
+func (l *Log) Add(e Event) { l.events = append(l.events, e) }
+
+// Events returns a copy of all events in insertion order.
+func (l *Log) Events() []Event { return append([]Event(nil), l.events...) }
+
+// ByKind returns the events of one kind.
+func (l *Log) ByKind(k Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Rel returns t as an offset from the log start.
+func (l *Log) Rel(t time.Time) time.Duration { return t.Sub(l.start) }
+
+// Span is one task execution on one executor.
+type Span struct {
+	Exec     string
+	ExecKind string
+	Stage    int
+	Task     int
+	Start    time.Time
+	End      time.Time
+}
+
+// TaskSpans pairs task_start/task_end events into spans, ordered by start
+// time then executor.
+func (l *Log) TaskSpans() []Span {
+	type key struct {
+		exec  string
+		stage int
+		task  int
+	}
+	open := map[key]Event{}
+	var spans []Span
+	for _, e := range l.events {
+		k := key{e.Exec, e.Stage, e.Task}
+		switch e.Kind {
+		case TaskStart:
+			open[k] = e
+		case TaskEnd, TaskFailed:
+			if s, ok := open[k]; ok {
+				spans = append(spans, Span{
+					Exec: e.Exec, ExecKind: s.ExecKind,
+					Stage: e.Stage, Task: e.Task,
+					Start: s.At, End: e.At,
+				})
+				delete(open, k)
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].Exec < spans[j].Exec
+	})
+	return spans
+}
+
+// StageBoundaries returns (stage, start, end) triples.
+type StageSpan struct {
+	Stage int
+	Start time.Time
+	End   time.Time
+}
+
+// StageSpans pairs stage start/end events.
+func (l *Log) StageSpans() []StageSpan {
+	open := map[int]time.Time{}
+	var out []StageSpan
+	for _, e := range l.events {
+		switch e.Kind {
+		case StageStart:
+			open[e.Stage] = e.At
+		case StageEnd:
+			if s, ok := open[e.Stage]; ok {
+				out = append(out, StageSpan{Stage: e.Stage, Start: s, End: e.At})
+				delete(open, e.Stage)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// RenderTimeline draws an ASCII per-executor timeline of task activity
+// (Figure 7 style): one row per executor, '#' where a task is running,
+// '|' at segue commencement, executor rows ordered by registration.
+func (l *Log) RenderTimeline(width int) string {
+	if width <= 10 {
+		width = 80
+	}
+	spans := l.TaskSpans()
+	if len(spans) == 0 {
+		return "(no task activity)\n"
+	}
+	end := l.start
+	for _, s := range spans {
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+	total := end.Sub(l.start)
+	if total <= 0 {
+		return "(zero-length timeline)\n"
+	}
+	col := func(t time.Time) int {
+		c := int(float64(t.Sub(l.start)) / float64(total) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var execs []string
+	seen := map[string]string{}
+	for _, e := range l.ByKind(ExecutorRegistered) {
+		if _, ok := seen[e.Exec]; !ok {
+			seen[e.Exec] = e.ExecKind
+			execs = append(execs, e.Exec)
+		}
+	}
+	rows := make(map[string][]byte, len(execs))
+	for _, id := range execs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[id] = row
+	}
+	for _, s := range spans {
+		row, ok := rows[s.Exec]
+		if !ok {
+			continue
+		}
+		a, b := col(s.Start), col(s.End)
+		for i := a; i <= b; i++ {
+			row[i] = '#'
+		}
+	}
+	for _, e := range l.ByKind(SegueCommence) {
+		c := col(e.At)
+		for _, row := range rows {
+			if row[c] == '.' {
+				row[c] = '|'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline 0s .. %.1fs  ('#'=task running, '|'=segue)\n", total.Seconds())
+	for _, id := range execs {
+		fmt.Fprintf(&b, "%-22s %s\n", id+" ["+seen[id]+"]", rows[id])
+	}
+	return b.String()
+}

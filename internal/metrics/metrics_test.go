@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func TestAddAndByKind(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(0), Kind: JobStart, Stage: -1, Task: -1})
+	l.Add(Event{At: at(time.Second), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(2 * time.Second), Kind: TaskEnd, Exec: "e1", Stage: 0, Task: 0})
+	if len(l.Events()) != 3 {
+		t.Fatalf("events = %d", len(l.Events()))
+	}
+	if got := l.ByKind(TaskStart); len(got) != 1 || got[0].Exec != "e1" {
+		t.Fatalf("ByKind = %+v", got)
+	}
+	if l.Rel(at(2*time.Second)) != 2*time.Second {
+		t.Fatal("Rel broken")
+	}
+	if !l.Start().Equal(t0) {
+		t.Fatal("Start broken")
+	}
+}
+
+func TestTaskSpansPairing(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(1 * time.Second), Kind: TaskStart, Exec: "e1", ExecKind: "vm", Stage: 0, Task: 0})
+	l.Add(Event{At: at(2 * time.Second), Kind: TaskStart, Exec: "e2", ExecKind: "lambda", Stage: 0, Task: 1})
+	l.Add(Event{At: at(3 * time.Second), Kind: TaskEnd, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(5 * time.Second), Kind: TaskFailed, Exec: "e2", Stage: 0, Task: 1})
+	spans := l.TaskSpans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Exec != "e1" || spans[0].End.Sub(spans[0].Start) != 2*time.Second {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].ExecKind != "lambda" {
+		t.Fatalf("span 1 kind = %q", spans[1].ExecKind)
+	}
+}
+
+func TestTaskSpansUnmatchedStart(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(time.Second), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
+	if got := l.TaskSpans(); len(got) != 0 {
+		t.Fatalf("unmatched start produced spans: %+v", got)
+	}
+}
+
+func TestStageSpans(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(0), Kind: StageStart, Stage: 1})
+	l.Add(Event{At: at(time.Second), Kind: StageStart, Stage: 2})
+	l.Add(Event{At: at(3 * time.Second), Kind: StageEnd, Stage: 2})
+	l.Add(Event{At: at(4 * time.Second), Kind: StageEnd, Stage: 1})
+	spans := l.StageSpans()
+	if len(spans) != 2 {
+		t.Fatalf("stage spans = %d", len(spans))
+	}
+	if spans[0].Stage != 1 || spans[1].Stage != 2 {
+		t.Fatalf("order = %+v", spans)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(0), Kind: ExecutorRegistered, Exec: "e1", ExecKind: "vm"})
+	l.Add(Event{At: at(0), Kind: ExecutorRegistered, Exec: "e2", ExecKind: "lambda"})
+	l.Add(Event{At: at(0), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(10 * time.Second), Kind: TaskEnd, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(5 * time.Second), Kind: SegueCommence})
+	out := l.RenderTimeline(40)
+	if !strings.Contains(out, "e1 [vm]") || !strings.Contains(out, "e2 [lambda]") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no activity marks:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatalf("no segue mark:\n%s", out)
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	l := New(t0)
+	if got := l.RenderTimeline(40); !strings.Contains(got, "no task activity") {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestRenderTimelineTinyWidthDefaults(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(0), Kind: ExecutorRegistered, Exec: "e1", ExecKind: "vm"})
+	l.Add(Event{At: at(0), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(time.Second), Kind: TaskEnd, Exec: "e1", Stage: 0, Task: 0})
+	out := l.RenderTimeline(1) // clamps to 80
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestDuplicateRegistrationIgnored(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(0), Kind: ExecutorRegistered, Exec: "e1", ExecKind: "vm"})
+	l.Add(Event{At: at(1), Kind: ExecutorRegistered, Exec: "e1", ExecKind: "vm"})
+	l.Add(Event{At: at(0), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(time.Second), Kind: TaskEnd, Exec: "e1", Stage: 0, Task: 0})
+	out := l.RenderTimeline(40)
+	if strings.Count(out, "e1 [vm]") != 1 {
+		t.Fatalf("duplicate rows:\n%s", out)
+	}
+}

@@ -1,0 +1,229 @@
+// Package simclock provides the discrete-event-simulation kernel used by the
+// SplitServe reproduction: a virtual clock, an ordered event queue, and
+// cancellable timers.
+//
+// The clock is single-threaded and deterministic. Events scheduled for the
+// same instant fire in scheduling order (FIFO), which makes every experiment
+// bit-for-bit reproducible. Components never sleep; they schedule callbacks.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock driving an event loop. The zero value is not
+// usable; construct with New. Clock is not safe for concurrent use: the
+// entire simulation runs on one goroutine by design.
+type Clock struct {
+	now    time.Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	inLoop bool
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled before it fires.
+type Timer struct {
+	ev *event
+}
+
+type event struct {
+	at    time.Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when popped or cancelled
+}
+
+// New returns a Clock whose current time is start.
+func New(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Epoch is a convenient fixed start instant for simulations.
+var Epoch = time.Date(2020, time.December, 7, 0, 0, 0, 0, time.UTC)
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Since returns the virtual time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }
+
+// Fired returns the number of events that have fired so far. Useful for
+// loop-progress assertions in tests.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending returns the number of events currently scheduled.
+func (c *Clock) Pending() int { return c.queue.Len() }
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are treated as zero. The returned Timer may be used to cancel.
+func (c *Clock) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// At schedules fn at instant t. If t is in the virtual past, the event fires
+// at the current time (never before already-queued events at the same time).
+func (c *Clock) At(t time.Time, fn func()) *Timer {
+	if fn == nil {
+		panic("simclock: nil event func")
+	}
+	if t.Before(c.now) {
+		t = c.now
+	}
+	ev := &event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Cancel removes the event from the queue if it has not fired yet. It
+// reports whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	ev := t.ev
+	t.ev = nil
+	ev.cancel()
+	return true
+}
+
+// When returns the instant at which the timer is scheduled to fire. It
+// reports false if the timer already fired or was cancelled.
+func (t *Timer) When() (time.Time, bool) {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return time.Time{}, false
+	}
+	return t.ev.at, true
+}
+
+func (e *event) cancel() {
+	if e.index >= 0 {
+		e.fn = nil // release closure; the heap entry is lazily discarded
+	}
+}
+
+// Step fires the next pending event. It reports false when the queue is
+// empty.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		ev := heap.Pop(&c.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		if ev.at.After(c.now) {
+			c.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		c.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (c *Clock) Run() {
+	c.guardLoop()
+	defer func() { c.inLoop = false }()
+	for c.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps at or before deadline, then advances
+// the clock to deadline (if it is later than the last fired event).
+func (c *Clock) RunUntil(deadline time.Time) {
+	c.guardLoop()
+	defer func() { c.inLoop = false }()
+	for {
+		next, ok := c.peek()
+		if !ok || next.After(deadline) {
+			break
+		}
+		c.Step()
+	}
+	if deadline.After(c.now) {
+		c.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now().Add(d)).
+func (c *Clock) RunFor(d time.Duration) { c.RunUntil(c.now.Add(d)) }
+
+// RunWhile fires events while cond() holds and events remain. It is the
+// usual way to drive a simulation to a completion flag.
+func (c *Clock) RunWhile(cond func() bool) {
+	c.guardLoop()
+	defer func() { c.inLoop = false }()
+	for cond() && c.Step() {
+	}
+}
+
+func (c *Clock) guardLoop() {
+	if c.inLoop {
+		panic("simclock: nested Run — schedule events instead of recursing into the loop")
+	}
+	c.inLoop = true
+}
+
+func (c *Clock) peek() (time.Time, bool) {
+	for c.queue.Len() > 0 {
+		top := c.queue[0]
+		if top.fn == nil {
+			heap.Pop(&c.queue)
+			continue
+		}
+		return top.at, true
+	}
+	return time.Time{}, false
+}
+
+// String summarises the clock state for debugging.
+func (c *Clock) String() string {
+	return fmt.Sprintf("simclock{now=%s pending=%d fired=%d}",
+		c.now.Format(time.RFC3339Nano), c.queue.Len(), c.fired)
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("simclock: push of non-event")
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,59 @@
+package rdd
+
+// Convenience operators built on the core primitives, mirroring the
+// corresponding Spark RDD API surface.
+
+// Distinct returns the dataset's distinct rows, using keyFn as identity
+// (shuffles once, like Spark's distinct).
+func (r *RDD) Distinct(name string, parts int, keyFn func(Row) Key, costPerRow float64) *RDD {
+	return r.Exchange(name, parts, keyFn, func(_ int, groups []Group) []Row {
+		out := make([]Row, len(groups))
+		for i, g := range groups {
+			out[i] = g.Rows[0]
+		}
+		return out
+	}, costPerRow, r.RowBytes)
+}
+
+// Sample keeps approximately frac of the rows, deterministically by the
+// row's key hash (Bernoulli sampling like Spark's sample without
+// replacement).
+func (r *RDD) Sample(name string, frac float64, keyFn func(Row) Key, costPerRow float64) *RDD {
+	if frac < 0 || frac > 1 {
+		panic("rdd: sample fraction outside [0,1]")
+	}
+	threshold := uint64(frac * float64(1<<32))
+	return r.Filter(name, func(row Row) bool {
+		h := uint64(HashKey(keyFn(row), 1<<31)) // well-mixed 31-bit hash
+		return (h<<1)&0xffffffff < threshold
+	}, costPerRow)
+}
+
+// CountByKey shuffles rows by keyFn and emits KV{key, int count} per key.
+func (r *RDD) CountByKey(name string, parts int, keyFn func(Row) Key, costPerRow float64) *RDD {
+	counted := r.Map(name+"-ones", func(row Row) Row {
+		return KV{K: keyFn(row), V: 1}
+	}, costPerRow/2, 16)
+	return counted.ReduceByKey(name, parts,
+		func(row Row) Key { return row.(KV).K },
+		func(a, b Row) Row {
+			return KV{K: a.(KV).K, V: a.(KV).V.(int) + b.(KV).V.(int)}
+		}, costPerRow/2, 16)
+}
+
+// Values projects the V of KV rows.
+func (r *RDD) Values(name string, costPerRow float64, rowBytes int) *RDD {
+	return r.Map(name, func(row Row) Row { return row.(KV).V }, costPerRow, rowBytes)
+}
+
+// Keys projects the K of KV rows.
+func (r *RDD) Keys(name string, costPerRow float64) *RDD {
+	return r.Map(name, func(row Row) Row { return row.(KV).K }, costPerRow, 12)
+}
+
+// Repartition redistributes rows into parts partitions by keyFn (a raw
+// exchange, like Spark's repartition). Deterministic: a recomputed map
+// task reproduces exactly the same placement.
+func (r *RDD) Repartition(name string, parts int, keyFn func(Row) Key, costPerRow float64) *RDD {
+	return r.Exchange(name, parts, keyFn, nil, costPerRow, r.RowBytes)
+}

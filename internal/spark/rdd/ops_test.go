@@ -1,0 +1,109 @@
+package rdd
+
+import (
+	"testing"
+)
+
+func TestDistinctPostShuffle(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	d := src.Distinct("distinct", 2, func(r Row) Key { return r.(int) }, 1)
+	out := d.PostShuffleFn(0, []Group{
+		{Key: 1, Rows: intRows(1, 1, 1)},
+		{Key: 2, Rows: intRows(2)},
+	})
+	if len(out) != 2 {
+		t.Fatalf("distinct = %v", out)
+	}
+}
+
+func TestSampleDeterministicFraction(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	s := src.Sample("sample", 0.25, func(r Row) Key { return r.(int) }, 1)
+	in := make([]Row, 10000)
+	for i := range in {
+		in[i] = i
+	}
+	out := s.NarrowFn(0, in)
+	frac := float64(len(out)) / float64(len(in))
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("sample kept %.3f, want ~0.25", frac)
+	}
+	// Deterministic: same input, same subset.
+	out2 := s.NarrowFn(0, in)
+	if len(out) != len(out2) {
+		t.Fatal("sample nondeterministic")
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatal("sample nondeterministic rows")
+		}
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	none := src.Sample("none", 0, func(r Row) Key { return r.(int) }, 1)
+	if got := none.NarrowFn(0, intRows(1, 2, 3)); len(got) != 0 {
+		t.Fatalf("frac=0 kept %v", got)
+	}
+	all := src.Sample("all", 1, func(r Row) Key { return r.(int) }, 1)
+	if got := all.NarrowFn(0, intRows(1, 2, 3)); len(got) != 3 {
+		t.Fatalf("frac=1 kept %v", got)
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	src.Sample("bad", 1.5, func(r Row) Key { return r.(int) }, 1)
+}
+
+func TestCountByKeyShape(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	counted := src.CountByKey("count", 2, func(r Row) Key { return r.(int) % 3 }, 2)
+	if counted.Kind != KindShuffled {
+		t.Fatalf("kind = %v", counted.Kind)
+	}
+	// The map side wraps rows in KV{key,1}; verify via the narrow parent.
+	ones := counted.Parents[0]
+	out := ones.NarrowFn(0, intRows(4, 7))
+	if out[0].(KV).K != 1 || out[0].(KV).V.(int) != 1 {
+		t.Fatalf("ones = %+v", out)
+	}
+}
+
+func TestKeysValues(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	keys := src.Keys("k", 1)
+	vals := src.Values("v", 1, 8)
+	in := []Row{KV{K: "a", V: 1}, KV{K: "b", V: 2}}
+	if got := keys.NarrowFn(0, in); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Keys = %v", got)
+	}
+	if got := vals.NarrowFn(0, in); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Values = %v", got)
+	}
+}
+
+func TestRepartitionIsExchange(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 4, func(int) []Row { return nil }, 1, 8)
+	rp := src.Repartition("rp", 2, func(r Row) Key { return r.(int) }, 1)
+	if rp.Kind != KindShuffled || rp.Parts != 2 {
+		t.Fatalf("repartition = %+v", rp)
+	}
+	out := rp.PostShuffleFn(0, []Group{{Key: 1, Rows: intRows(1, 2)}})
+	if len(out) != 2 {
+		t.Fatalf("identity post = %v", out)
+	}
+}

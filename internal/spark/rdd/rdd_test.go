@@ -1,0 +1,221 @@
+package rdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func intRows(vals ...int) []Row {
+	out := make([]Row, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSourceAndLineage(t *testing.T) {
+	c := NewContext()
+	src := c.Source("nums", 4, func(part int) []Row { return intRows(part) }, 1, 8)
+	m := src.Map("double", func(r Row) Row { return r.(int) * 2 }, 1, 8)
+	f := m.Filter("evens", func(r Row) bool { return r.(int)%4 == 0 }, 1)
+	lin := f.Lineage()
+	if len(lin) != 3 {
+		t.Fatalf("lineage = %d nodes, want 3", len(lin))
+	}
+	if lin[0] != src || lin[2] != f {
+		t.Fatalf("lineage order wrong: %v", lin)
+	}
+	if f.Parts != 4 {
+		t.Fatalf("narrow parts = %d, want inherited 4", f.Parts)
+	}
+}
+
+func TestMapSemantics(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return intRows(1, 2, 3) }, 1, 8)
+	m := src.Map("inc", func(r Row) Row { return r.(int) + 1 }, 1, 8)
+	got := m.NarrowFn(0, src.Gen(0))
+	want := []int{2, 3, 4}
+	for i := range want {
+		if got[i].(int) != want[i] {
+			t.Fatalf("Map = %v", got)
+		}
+	}
+}
+
+func TestFilterSemantics(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return intRows(1, 2, 3, 4) }, 1, 8)
+	f := src.Filter("even", func(r Row) bool { return r.(int)%2 == 0 }, 1)
+	got := f.NarrowFn(0, src.Gen(0))
+	if len(got) != 2 || got[0].(int) != 2 || got[1].(int) != 4 {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestFlatMapSemantics(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return intRows(2, 3) }, 1, 8)
+	fm := src.FlatMap("dup", func(r Row) []Row { return intRows(r.(int), r.(int)) }, 1, 8)
+	got := fm.NarrowFn(0, src.Gen(0))
+	if len(got) != 4 {
+		t.Fatalf("FlatMap = %v", got)
+	}
+}
+
+func TestReduceByKeyPostShuffle(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	r := src.ReduceByKey("sum", 2,
+		func(row Row) Key { return row.(KV).K },
+		func(a, b Row) Row { return KV{K: a.(KV).K, V: a.(KV).V.(int) + b.(KV).V.(int)} },
+		1, 16)
+	groups := []Group{
+		{Key: "a", Rows: []Row{KV{K: "a", V: 1}, KV{K: "a", V: 2}, KV{K: "a", V: 3}}},
+		{Key: "b", Rows: []Row{KV{K: "b", V: 10}}},
+	}
+	out := r.PostShuffleFn(0, groups)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].(KV).V.(int) != 6 || out[1].(KV).V.(int) != 10 {
+		t.Fatalf("reduce values wrong: %v", out)
+	}
+}
+
+func TestGroupByKeyPostShuffle(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	g := src.GroupByKey("grp", 2, func(row Row) Key { return row.(KV).K }, 1, 16)
+	out := g.PostShuffleFn(0, []Group{{Key: "k", Rows: intRows(1, 2, 3)}})
+	kv := out[0].(KV)
+	if kv.K != "k" || len(kv.V.([]Row)) != 3 {
+		t.Fatalf("group = %+v", kv)
+	}
+}
+
+func TestJoinSemantics(t *testing.T) {
+	c := NewContext()
+	l := c.Source("l", 1, func(int) []Row { return nil }, 1, 8)
+	r := c.Source("r", 1, func(int) []Row { return nil }, 1, 8)
+	j := l.Join(r, "join", 2,
+		func(row Row) Key { return row.(KV).K },
+		func(row Row) Key { return row.(KV).K },
+		func(a, b Row) Row { return KV{K: a.(KV).K, V: a.(KV).V.(int) + b.(KV).V.(int)} },
+		1, 16)
+	left := []Group{{Key: "x", Rows: []Row{KV{K: "x", V: 1}, KV{K: "x", V: 2}}}}
+	right := []Group{{Key: "x", Rows: []Row{KV{K: "x", V: 10}}}, {Key: "y", Rows: []Row{KV{K: "y", V: 5}}}}
+	out := j.CoGroupFn(0, left, right)
+	if len(out) != 2 {
+		t.Fatalf("join emitted %d rows: %v", len(out), out)
+	}
+	if out[0].(KV).V.(int) != 11 || out[1].(KV).V.(int) != 12 {
+		t.Fatalf("join values: %v", out)
+	}
+}
+
+func TestExchangeDefaultPost(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	e := src.Exchange("ex", 2, func(r Row) Key { return r.(KV).K }, nil, 1, 8)
+	out := e.PostShuffleFn(0, []Group{
+		{Key: "a", Rows: intRows(1)},
+		{Key: "b", Rows: intRows(2, 3)},
+	})
+	if len(out) != 3 {
+		t.Fatalf("Exchange flatten = %v", out)
+	}
+}
+
+func TestCacheFlag(t *testing.T) {
+	c := NewContext()
+	src := c.Source("s", 1, func(int) []Row { return nil }, 1, 8)
+	if src.Cached {
+		t.Fatal("fresh RDD cached")
+	}
+	if got := src.Cache(); got != src || !src.Cached {
+		t.Fatal("Cache() broken")
+	}
+}
+
+func TestIDsAreSequential(t *testing.T) {
+	c := NewContext()
+	a := c.Source("a", 1, func(int) []Row { return nil }, 1, 8)
+	b := a.Map("b", func(r Row) Row { return r }, 1, 8)
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("IDs = %d, %d", a.ID, b.ID)
+	}
+	if len(c.RDDs()) != 2 {
+		t.Fatalf("context holds %d", len(c.RDDs()))
+	}
+}
+
+func TestKeyLess(t *testing.T) {
+	if !KeyLess(1, 2) || KeyLess(2, 1) {
+		t.Fatal("int ordering")
+	}
+	if !KeyLess("a", "b") {
+		t.Fatal("string ordering")
+	}
+	if !KeyLess(int64(5), int64(9)) {
+		t.Fatal("int64 ordering")
+	}
+}
+
+func TestKeyLessPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KeyLess(1.5, 2.5)
+}
+
+func TestHashKeyStableAndInRange(t *testing.T) {
+	for _, k := range []Key{1, int64(7), "hello", uint64(42), int32(3)} {
+		a := HashKey(k, 16)
+		b := HashKey(k, 16)
+		if a != b {
+			t.Fatalf("HashKey unstable for %v", k)
+		}
+		if a < 0 || a >= 16 {
+			t.Fatalf("HashKey out of range: %d", a)
+		}
+	}
+}
+
+func TestHashKeySpreads(t *testing.T) {
+	seen := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		seen[HashKey(i, 8)]++
+	}
+	for b, n := range seen {
+		if n < 50 {
+			t.Fatalf("bucket %d underfull: %d", b, n)
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d buckets used", len(seen))
+	}
+}
+
+func TestQuickHashKeyRange(t *testing.T) {
+	prop := func(k int64, parts uint8) bool {
+		p := int(parts%64) + 1
+		h := HashKey(k, p)
+		return h >= 0 && h < p
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonPositivePartsPanics(t *testing.T) {
+	c := NewContext()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Source("bad", 0, func(int) []Row { return nil }, 1, 8)
+}

@@ -1,0 +1,225 @@
+// Package shuffle implements the engine's shuffle machinery: hash
+// partitioning of map-task output into reduce buckets (with optional
+// map-side combining), deterministic regrouping on the reduce side, Spark-
+// style block naming rooted at executor IDs (the paper keeps "the Spark
+// semantics of directory structure; both VM- and Lambda-based executors use
+// their uniquely identifiable IDs as an entry point"), and the map-output
+// tracker the DAG scheduler consults to locate shuffle data and to detect
+// lost outputs after an executor or host dies.
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+
+	"splitserve/internal/spark/rdd"
+)
+
+// Partition splits rows into parts buckets by keyFn. If mergeFn is non-nil
+// rows with equal keys are combined within each bucket (map-side combine),
+// reducing shuffle volume exactly like Spark's reduceByKey combiner.
+func Partition(rows []rdd.Row, keyFn func(rdd.Row) rdd.Key, parts int, mergeFn func(a, b rdd.Row) rdd.Row) [][]rdd.Row {
+	buckets := make([][]rdd.Row, parts)
+	if mergeFn == nil {
+		for _, row := range rows {
+			b := rdd.HashKey(keyFn(row), parts)
+			buckets[b] = append(buckets[b], row)
+		}
+		return buckets
+	}
+	// Combine: keep per-bucket insertion order of first key occurrence so
+	// output is deterministic.
+	type slot struct{ idx int }
+	combined := make([]map[rdd.Key]slot, parts)
+	for _, row := range rows {
+		k := keyFn(row)
+		b := rdd.HashKey(k, parts)
+		if combined[b] == nil {
+			combined[b] = make(map[rdd.Key]slot)
+		}
+		if s, ok := combined[b][k]; ok {
+			buckets[b][s.idx] = mergeFn(buckets[b][s.idx], row)
+		} else {
+			combined[b][k] = slot{idx: len(buckets[b])}
+			buckets[b] = append(buckets[b], row)
+		}
+	}
+	return buckets
+}
+
+// Regroup builds key groups from fetched map buckets (ordered by map
+// partition). Groups are sorted by key; rows within a group preserve
+// (map partition, row) order — fully deterministic.
+func Regroup(bucketsByMap [][]rdd.Row, keyFn func(rdd.Row) rdd.Key) []rdd.Group {
+	order := make([]rdd.Key, 0)
+	byKey := make(map[rdd.Key][]rdd.Row)
+	for _, bucket := range bucketsByMap {
+		for _, row := range bucket {
+			k := keyFn(row)
+			if _, ok := byKey[k]; !ok {
+				order = append(order, k)
+			}
+			byKey[k] = append(byKey[k], row)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return rdd.KeyLess(order[i], order[j]) })
+	groups := make([]rdd.Group, len(order))
+	for i, k := range order {
+		groups[i] = rdd.Group{Key: k, Rows: byKey[k]}
+	}
+	return groups
+}
+
+// BlockID names one shuffle block the way the paper's HDFS layout does:
+// the writing executor's unique ID is the directory entry point.
+func BlockID(appID, execID string, shuffleID, mapPart, reducePart int) string {
+	return fmt.Sprintf("/shuffle/%s/%s/shuffle_%d_%d_%d", appID, execID, shuffleID, mapPart, reducePart)
+}
+
+// MapStatus records where one map partition's output lives.
+type MapStatus struct {
+	MapPart int
+	ExecID  string
+	HostID  string
+	// BlockIDs[r] and Sizes[r] describe the bucket for reduce partition r;
+	// empty buckets have Sizes[r] == 0 and are never fetched.
+	BlockIDs []string
+	Sizes    []int64
+}
+
+// shuffleState tracks one registered shuffle.
+type shuffleState struct {
+	maps    int
+	reduces int
+	status  []*MapStatus // index by map partition; nil = missing
+}
+
+// Tracker is the driver-side map-output tracker.
+type Tracker struct {
+	shuffles map[int]*shuffleState
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{shuffles: make(map[int]*shuffleState)}
+}
+
+// Register declares a shuffle with its map and reduce partition counts.
+// Re-registering is a no-op (stage resubmission reuses the registration).
+func (t *Tracker) Register(shuffleID, maps, reduces int) {
+	if _, ok := t.shuffles[shuffleID]; ok {
+		return
+	}
+	t.shuffles[shuffleID] = &shuffleState{
+		maps:    maps,
+		reduces: reduces,
+		status:  make([]*MapStatus, maps),
+	}
+}
+
+// Registered reports whether the shuffle is known.
+func (t *Tracker) Registered(shuffleID int) bool {
+	_, ok := t.shuffles[shuffleID]
+	return ok
+}
+
+// AddMapOutput records a completed map partition.
+func (t *Tracker) AddMapOutput(shuffleID int, st *MapStatus) {
+	s := t.mustGet(shuffleID)
+	if st.MapPart < 0 || st.MapPart >= s.maps {
+		panic(fmt.Sprintf("shuffle: map part %d out of range", st.MapPart))
+	}
+	s.status[st.MapPart] = st
+}
+
+// Complete reports whether every map partition has registered output.
+func (t *Tracker) Complete(shuffleID int) bool {
+	s := t.mustGet(shuffleID)
+	for _, st := range s.status {
+		if st == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// MissingMaps returns the map partitions without registered output.
+func (t *Tracker) MissingMaps(shuffleID int) []int {
+	s := t.mustGet(shuffleID)
+	var out []int
+	for i, st := range s.status {
+		if st == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FetchSpec returns the non-empty block IDs and total bytes a reduce
+// partition must fetch, ordered by map partition. ok is false if any map
+// output is missing (fetch failure — triggers parent-stage resubmission).
+func (t *Tracker) FetchSpec(shuffleID, reducePart int) (ids []string, total int64, ok bool) {
+	s := t.mustGet(shuffleID)
+	for _, st := range s.status {
+		if st == nil {
+			return nil, 0, false
+		}
+		if st.Sizes[reducePart] > 0 {
+			ids = append(ids, st.BlockIDs[reducePart])
+			total += st.Sizes[reducePart]
+		}
+	}
+	return ids, total, true
+}
+
+// UnregisterHost invalidates every map output living on hostID (the host
+// died and, for host-local storage, its blocks died with it). It returns
+// the affected shuffle IDs.
+func (t *Tracker) UnregisterHost(hostID string) []int {
+	var affected []int
+	for id, s := range t.shuffles {
+		touched := false
+		for i, st := range s.status {
+			if st != nil && st.HostID == hostID {
+				s.status[i] = nil
+				touched = true
+			}
+		}
+		if touched {
+			affected = append(affected, id)
+		}
+	}
+	sort.Ints(affected)
+	return affected
+}
+
+// AllBlockIDs returns every registered block ID of a shuffle (for cleanup).
+func (t *Tracker) AllBlockIDs(shuffleID int) []string {
+	s := t.mustGet(shuffleID)
+	var out []string
+	for _, st := range s.status {
+		if st == nil {
+			continue
+		}
+		for r, id := range st.BlockIDs {
+			if st.Sizes[r] > 0 {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// Reduces returns the reduce partition count of a shuffle.
+func (t *Tracker) Reduces(shuffleID int) int { return t.mustGet(shuffleID).reduces }
+
+// Maps returns the map partition count of a shuffle.
+func (t *Tracker) Maps(shuffleID int) int { return t.mustGet(shuffleID).maps }
+
+func (t *Tracker) mustGet(shuffleID int) *shuffleState {
+	s, ok := t.shuffles[shuffleID]
+	if !ok {
+		panic(fmt.Sprintf("shuffle: unknown shuffle %d", shuffleID))
+	}
+	return s
+}

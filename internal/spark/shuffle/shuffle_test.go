@@ -1,0 +1,225 @@
+package shuffle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"splitserve/internal/spark/rdd"
+)
+
+func kvKey(r rdd.Row) rdd.Key { return r.(rdd.KV).K }
+
+func sumMerge(a, b rdd.Row) rdd.Row {
+	return rdd.KV{K: a.(rdd.KV).K, V: a.(rdd.KV).V.(int) + b.(rdd.KV).V.(int)}
+}
+
+func TestPartitionSpreadsByHash(t *testing.T) {
+	rows := make([]rdd.Row, 100)
+	for i := range rows {
+		rows[i] = rdd.KV{K: i, V: 1}
+	}
+	buckets := Partition(rows, kvKey, 4, nil)
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	if total != 100 {
+		t.Fatalf("partition lost rows: %d", total)
+	}
+	for i, b := range buckets {
+		if len(b) == 0 {
+			t.Fatalf("bucket %d empty", i)
+		}
+		for _, row := range b {
+			if rdd.HashKey(kvKey(row), 4) != i {
+				t.Fatalf("row in wrong bucket")
+			}
+		}
+	}
+}
+
+func TestPartitionCombines(t *testing.T) {
+	var rows []rdd.Row
+	for i := 0; i < 30; i++ {
+		rows = append(rows, rdd.KV{K: i % 3, V: 1})
+	}
+	buckets := Partition(rows, kvKey, 2, sumMerge)
+	count, sum := 0, 0
+	for _, b := range buckets {
+		for _, row := range b {
+			count++
+			sum += row.(rdd.KV).V.(int)
+		}
+	}
+	if count != 3 {
+		t.Fatalf("combiner left %d rows, want 3", count)
+	}
+	if sum != 30 {
+		t.Fatalf("combiner lost values: sum=%d", sum)
+	}
+}
+
+func TestRegroupOrdersByKeyAndMap(t *testing.T) {
+	m0 := []rdd.Row{rdd.KV{K: "b", V: 1}, rdd.KV{K: "a", V: 2}}
+	m1 := []rdd.Row{rdd.KV{K: "a", V: 3}}
+	groups := Regroup([][]rdd.Row{m0, m1}, kvKey)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Key != "a" || groups[1].Key != "b" {
+		t.Fatalf("groups not key-sorted: %v %v", groups[0].Key, groups[1].Key)
+	}
+	a := groups[0].Rows
+	if a[0].(rdd.KV).V.(int) != 2 || a[1].(rdd.KV).V.(int) != 3 {
+		t.Fatalf("rows not in map order: %v", a)
+	}
+}
+
+func TestBlockIDLayout(t *testing.T) {
+	got := BlockID("app-1", "exec-vm-2", 3, 7, 11)
+	want := "/shuffle/app-1/exec-vm-2/shuffle_3_7_11"
+	if got != want {
+		t.Fatalf("BlockID = %q, want %q", got, want)
+	}
+}
+
+func newStatus(mapPart int, host string, sizes []int64) *MapStatus {
+	ids := make([]string, len(sizes))
+	for r := range ids {
+		ids[r] = BlockID("app", "e"+host, 1, mapPart, r)
+	}
+	return &MapStatus{MapPart: mapPart, ExecID: "e" + host, HostID: host, BlockIDs: ids, Sizes: sizes}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, 2, 3)
+	if tr.Complete(1) {
+		t.Fatal("empty shuffle complete")
+	}
+	if got := tr.MissingMaps(1); len(got) != 2 {
+		t.Fatalf("missing = %v", got)
+	}
+	tr.AddMapOutput(1, newStatus(0, "h1", []int64{10, 0, 5}))
+	tr.AddMapOutput(1, newStatus(1, "h2", []int64{0, 7, 3}))
+	if !tr.Complete(1) {
+		t.Fatal("shuffle not complete after all maps")
+	}
+	ids, total, ok := tr.FetchSpec(1, 2)
+	if !ok || total != 8 || len(ids) != 2 {
+		t.Fatalf("FetchSpec = %v %d %v", ids, total, ok)
+	}
+	// Empty buckets are skipped.
+	ids, total, ok = tr.FetchSpec(1, 1)
+	if !ok || total != 7 || len(ids) != 1 {
+		t.Fatalf("FetchSpec(1) = %v %d %v", ids, total, ok)
+	}
+}
+
+func TestTrackerReRegisterIsNoop(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, 2, 2)
+	tr.AddMapOutput(1, newStatus(0, "h1", []int64{1, 1}))
+	tr.Register(1, 2, 2)
+	if len(tr.MissingMaps(1)) != 1 {
+		t.Fatal("re-register wiped outputs")
+	}
+}
+
+func TestTrackerUnregisterHost(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, 2, 2)
+	tr.Register(2, 1, 2)
+	tr.AddMapOutput(1, newStatus(0, "h1", []int64{1, 1}))
+	tr.AddMapOutput(1, newStatus(1, "h2", []int64{1, 1}))
+	tr.AddMapOutput(2, newStatus(0, "h1", []int64{1, 1}))
+	affected := tr.UnregisterHost("h1")
+	if len(affected) != 2 || affected[0] != 1 || affected[1] != 2 {
+		t.Fatalf("affected = %v", affected)
+	}
+	if got := tr.MissingMaps(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("missing after host loss = %v", got)
+	}
+	if _, _, ok := tr.FetchSpec(1, 0); ok {
+		t.Fatal("FetchSpec should fail with missing maps")
+	}
+	if tr.UnregisterHost("h3") != nil {
+		t.Fatal("unknown host affected shuffles")
+	}
+}
+
+func TestTrackerAllBlockIDs(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(1, 1, 3)
+	tr.AddMapOutput(1, newStatus(0, "h1", []int64{1, 0, 2}))
+	ids := tr.AllBlockIDs(1)
+	if len(ids) != 2 {
+		t.Fatalf("AllBlockIDs = %v", ids)
+	}
+}
+
+func TestTrackerPanicsOnUnknownShuffle(t *testing.T) {
+	tr := NewTracker()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Complete(9)
+}
+
+func TestTrackerDims(t *testing.T) {
+	tr := NewTracker()
+	tr.Register(4, 5, 6)
+	if tr.Maps(4) != 5 || tr.Reduces(4) != 6 {
+		t.Fatalf("dims = %d x %d", tr.Maps(4), tr.Reduces(4))
+	}
+}
+
+// Property: partition + regroup round-trips the multiset of values, with or
+// without combining, and the combined total is preserved.
+func TestQuickPartitionRegroupConservation(t *testing.T) {
+	prop := func(vals []int8, parts uint8) bool {
+		p := int(parts%8) + 1
+		rows := make([]rdd.Row, len(vals))
+		sum := 0
+		for i, v := range vals {
+			rows[i] = rdd.KV{K: int(v % 5), V: 1}
+			sum++
+			_ = v
+		}
+		buckets := Partition(rows, kvKey, p, sumMerge)
+		groups := Regroup(buckets, kvKey)
+		got := 0
+		for _, g := range groups {
+			for _, r := range g.Rows {
+				got += r.(rdd.KV).V.(int)
+			}
+		}
+		return got == sum
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: regroup output keys are strictly increasing (deterministic
+// order, no duplicate groups).
+func TestQuickRegroupKeyOrder(t *testing.T) {
+	prop := func(vals []int16) bool {
+		rows := make([]rdd.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = rdd.KV{K: int(v), V: i}
+		}
+		groups := Regroup([][]rdd.Row{rows}, kvKey)
+		for i := 1; i < len(groups); i++ {
+			if !rdd.KeyLess(groups[i-1].Key, groups[i].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

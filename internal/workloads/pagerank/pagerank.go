@@ -1,0 +1,211 @@
+// Package pagerank implements Intel HiBench's WebSearch (PageRank)
+// workload on the engine: a power-law web graph is generated
+// synthetically, the adjacency dataset is cached, and each iteration
+// co-groups adjacency with the current rank vector, scatters
+// rank/out-degree contributions over the links, and reduces them by target
+// page — the paper's most shuffle-intensive workload ("compute and shuffle
+// I/O intensive ... considerably more than distributed K-means").
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"splitserve/internal/simrand"
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/spark/rdd"
+	"splitserve/internal/workloads"
+)
+
+// Config parameterises a PageRank run.
+type Config struct {
+	// Pages is the page count (the paper uses 25k/50k/100k for profiling
+	// and 850k for the main experiment).
+	Pages int
+	// AvgOutDegree is the mean links per page (Zipf-skewed).
+	AvgOutDegree int
+	// Iterations of the power method.
+	Iterations int
+	// Partitions of every stage.
+	Partitions int
+	// Damping factor (0.85 in the PageRank paper and HiBench).
+	Damping float64
+	// Seed for graph generation.
+	Seed uint64
+	// WorkScale multiplies per-row CPU costs (calibration).
+	WorkScale float64
+	// SampleFactor generates Pages/SampleFactor real pages while modelling
+	// the full page count: per-row CPU cost and serialized size scale by
+	// the factor, so modelled work and shuffle bytes are unchanged but the
+	// reproduction's wall-clock shrinks. The computed ranks are a genuine
+	// PageRank of the sampled graph. 0/1 disables sampling.
+	SampleFactor int
+	// ExpectedSLO for the segueing facility.
+	ExpectedSLO time.Duration
+}
+
+// DefaultConfig mirrors the paper's Figure 6 setup (850k pages, R=16).
+func DefaultConfig() Config {
+	return Config{
+		Pages:        850_000,
+		AvgOutDegree: 10,
+		Iterations:   3,
+		Partitions:   16,
+		Damping:      0.85,
+		Seed:         1,
+		WorkScale:    1,
+		ExpectedSLO:  5 * time.Minute,
+	}
+}
+
+// page is one adjacency row.
+type page struct {
+	ID      int
+	Targets []int32
+}
+
+// Workload is the PageRank workload.
+type Workload struct {
+	cfg Config
+}
+
+var _ workloads.Workload = (*Workload)(nil)
+
+// New returns a PageRank workload.
+func New(cfg Config) *Workload {
+	if cfg.Pages <= 0 || cfg.Partitions <= 0 || cfg.Iterations <= 0 {
+		panic("pagerank: invalid config")
+	}
+	if cfg.WorkScale <= 0 {
+		cfg.WorkScale = 1
+	}
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.SampleFactor <= 0 {
+		cfg.SampleFactor = 1
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workloads.Workload.
+func (w *Workload) Name() string { return fmt.Sprintf("pagerank-%d", w.cfg.Pages) }
+
+// DefaultParallelism implements workloads.Workload.
+func (w *Workload) DefaultParallelism() int { return w.cfg.Partitions }
+
+// SLO implements workloads.Workload.
+func (w *Workload) SLO() time.Duration { return w.cfg.ExpectedSLO }
+
+// Plan builds the full iterative dataflow and returns the final ranks
+// dataset; a single collect action executes all iterations (as in the
+// canonical Spark PageRank program).
+func (w *Workload) Plan(ctx *rdd.Context) *rdd.RDD {
+	cfg := w.cfg
+	parts := cfg.Partitions
+	sample := float64(cfg.SampleFactor)
+	pages := cfg.Pages / cfg.SampleFactor
+	per := pages / parts
+
+	// Adjacency rows: ~48 bytes serialized for out-degree 10; generation
+	// cost models reading+parsing the HiBench input from storage.
+	linkRowBytes := int(float64(16+4*cfg.AvgOutDegree) * sample)
+	links := ctx.Source("links", parts, func(p int) []rdd.Row {
+		// Derive an independent deterministic stream per partition.
+		rng := simrand.New(cfg.Seed + uint64(p)*0x9e3779b97f4a7c15)
+		lo := p * per
+		hi := lo + per
+		if p == parts-1 {
+			hi = pages
+		}
+		out := make([]rdd.Row, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			deg := rng.Zipf(2.0, cfg.AvgOutDegree*10)
+			if deg > pages {
+				deg = pages
+			}
+			targets := make([]int32, deg)
+			for i := range targets {
+				targets[i] = int32(rng.Intn(pages))
+			}
+			out = append(out, page{ID: id, Targets: targets})
+		}
+		return out
+	}, 900*cfg.WorkScale*sample, linkRowBytes).Cache()
+
+	// Initial ranks: 1.0 each.
+	ranks := links.Map("ranks0", func(r rdd.Row) rdd.Row {
+		return rdd.KV{K: r.(page).ID, V: 1.0}
+	}, 20*cfg.WorkScale*sample, int(40*sample))
+
+	pageKey := func(r rdd.Row) rdd.Key { return r.(page).ID }
+	kvKey := func(r rdd.Row) rdd.Key { return r.(rdd.KV).K }
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// contribs: join adjacency with ranks, scatter rank/deg to targets.
+		contribs := links.CoGroup(ranks, fmt.Sprintf("contribs-%d", it), parts,
+			pageKey, kvKey,
+			func(_ int, left, right []rdd.Group) []rdd.Row {
+				rankOf := make(map[rdd.Key]float64, len(right))
+				for _, g := range right {
+					rankOf[g.Key] = g.Rows[0].(rdd.KV).V.(float64)
+				}
+				var out []rdd.Row
+				for _, g := range left {
+					pg := g.Rows[0].(page)
+					rank, ok := rankOf[g.Key]
+					if !ok || len(pg.Targets) == 0 {
+						continue
+					}
+					share := rank / float64(len(pg.Targets))
+					for _, tgt := range pg.Targets {
+						out = append(out, rdd.KV{K: int(tgt), V: share})
+					}
+				}
+				return out
+			}, 120*cfg.WorkScale*sample, int(40*sample))
+
+		// New ranks: damping over summed contributions.
+		damping := cfg.Damping
+		ranks = contribs.ReduceByKey(fmt.Sprintf("ranks-%d", it+1), parts,
+			kvKey,
+			func(a, b rdd.Row) rdd.Row {
+				return rdd.KV{K: a.(rdd.KV).K, V: a.(rdd.KV).V.(float64) + b.(rdd.KV).V.(float64)}
+			}, 60*cfg.WorkScale*sample, int(40*sample)).
+			Map(fmt.Sprintf("damp-%d", it+1), func(r rdd.Row) rdd.Row {
+				kv := r.(rdd.KV)
+				return rdd.KV{K: kv.K, V: (1 - damping) + damping*kv.V.(float64)}
+			}, 10*cfg.WorkScale*sample, int(40*sample))
+	}
+	return ranks
+}
+
+// Run implements workloads.Workload.
+func (w *Workload) Run(c *engine.Cluster) (*workloads.Report, error) {
+	return workloads.Timed(c, w.Name(), func() (string, int, error) {
+		ctx := rdd.NewContext()
+		job, err := c.RunJob(w.Plan(ctx), w.Name())
+		if err != nil {
+			return "", 0, err
+		}
+		sum, maxRank := 0.0, 0.0
+		var maxPage rdd.Key
+		n := 0
+		for _, r := range job.Rows() {
+			kv := r.(rdd.KV)
+			v := kv.V.(float64)
+			sum += v
+			n++
+			if v > maxRank {
+				maxRank, maxPage = v, kv.K
+			}
+		}
+		answer := fmt.Sprintf("ranked %d pages, top page %v (rank %.3f), mass %.1f",
+			n, maxPage, maxRank, sum)
+		if n == 0 || math.IsNaN(sum) {
+			return "", 0, fmt.Errorf("pagerank: degenerate result %q", answer)
+		}
+		return answer, 1, nil
+	})
+}

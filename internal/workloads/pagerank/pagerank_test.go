@@ -1,0 +1,142 @@
+package pagerank
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve/internal/cloud"
+	"splitserve/internal/netsim"
+	"splitserve/internal/simclock"
+	"splitserve/internal/simrand"
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/spark/rdd"
+	"splitserve/internal/storage"
+)
+
+func testCluster(t *testing.T, execs int) (*engine.Cluster, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New(simclock.Epoch)
+	net := netsim.New(clock)
+	provider := cloud.NewProvider(clock, net, simrand.New(5), cloud.DefaultOptions())
+	vm := provider.ProvisionReadyVM(cloud.M44XLarge)
+	cluster, err := engine.New(engine.Config{
+		AppID: "pr-test", Clock: clock, Net: net, Provider: provider,
+		Store:   storage.NewLocal(clock, net),
+		Backend: engine.NewStandalone(engine.StandaloneConfig{VMs: []*cloud.VM{vm}}),
+		Alloc:   engine.DefaultAllocConfig(engine.AllocStatic, execs, execs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, clock
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Pages = 2000
+	cfg.Partitions = 4
+	cfg.Iterations = 3
+	return cfg
+}
+
+func TestPageRankRuns(t *testing.T) {
+	cluster, _ := testCluster(t, 4)
+	w := New(smallConfig())
+	rep, err := w.Run(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Answer, "ranked") {
+		t.Fatalf("answer = %q", rep.Answer)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestPageRankMassConservedApproximately(t *testing.T) {
+	// With damping, total mass stays near the page count (pages with no
+	// inbound links still receive the (1-d) floor).
+	cluster, _ := testCluster(t, 4)
+	cfg := smallConfig()
+	w := New(cfg)
+	ctx := rdd.NewContext()
+	job, err := cluster.RunJob(w.Plan(ctx), "pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	count := 0
+	for _, r := range job.Rows() {
+		sum += r.(rdd.KV).V.(float64)
+		count++
+	}
+	if count == 0 || count > cfg.Pages {
+		t.Fatalf("ranked pages = %d", count)
+	}
+	if sum <= 0 || math.IsNaN(sum) || sum > float64(cfg.Pages)*1.5 {
+		t.Fatalf("rank mass = %v for %d pages", sum, cfg.Pages)
+	}
+}
+
+func TestPageRankDeterministic(t *testing.T) {
+	run := func() (string, time.Duration) {
+		cluster, clock := testCluster(t, 4)
+		rep, err := New(smallConfig()).Run(cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Answer, clock.Since(simclock.Epoch)
+	}
+	a1, d1 := run()
+	a2, d2 := run()
+	if a1 != a2 || d1 != d2 {
+		t.Fatalf("nondeterministic: %q/%v vs %q/%v", a1, d1, a2, d2)
+	}
+}
+
+func TestPageRankStageStructure(t *testing.T) {
+	// Iterations produce the expected stage count: 3 per iteration (links
+	// side, ranks side, contribs->ranks) plus the result stage.
+	cluster, _ := testCluster(t, 4)
+	cfg := smallConfig()
+	cfg.Iterations = 2
+	ctx := rdd.NewContext()
+	plan := New(cfg).Plan(ctx)
+	job, err := cluster.RunJob(plan, "pr-stages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*cfg.Iterations + 1
+	if len(job.Stages) != want {
+		t.Fatalf("stages = %d, want %d", len(job.Stages), want)
+	}
+}
+
+func TestPageRankShuffleHeavierThanCompute(t *testing.T) {
+	// The links cache makes a second identical run cheaper but iterations
+	// still shuffle: shuffle files must exist in the store.
+	cluster, _ := testCluster(t, 4)
+	w := New(smallConfig())
+	if _, err := w.Run(cluster); err != nil {
+		t.Fatal(err)
+	}
+	local, ok := cluster.Store().(*storage.Local)
+	if !ok {
+		t.Fatal("expected local store")
+	}
+	if local.Len() == 0 {
+		t.Fatal("no shuffle blocks written")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Pages: 0, Partitions: 1, Iterations: 1})
+}

@@ -1,0 +1,310 @@
+package tpcds
+
+import (
+	"fmt"
+	"time"
+
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/spark/rdd"
+	"splitserve/internal/workloads"
+)
+
+// Filter constants shared by the shipping queries (Q16/Q94/Q95): an
+// anchor row must be shipped from this state within this sold-date window
+// — standing in for the real queries' date_dim/customer_address/
+// call_center broadcast-join predicates.
+const (
+	anchorState   = 5
+	anchorDateLo  = 60
+	anchorDateHi  = 120
+	shipWindowMax = 60 // days between order and shipment
+)
+
+// agg accumulates the shipping queries' three output measures.
+type agg struct {
+	Orders   int64
+	ShipCost float64
+	Profit   float64
+}
+
+func addAgg(a, b agg) agg {
+	return agg{Orders: a.Orders + b.Orders, ShipCost: a.ShipCost + b.ShipCost, Profit: a.Profit + b.Profit}
+}
+
+// Query is one TPC-DS query workload.
+type Query struct {
+	id         string
+	sf         int
+	partitions int
+	workScale  float64
+	sample     int
+	seed       uint64
+	slo        time.Duration
+}
+
+var _ workloads.Workload = (*Query)(nil)
+
+// NewQuery builds one of q5, q16, q94, q95 at the given scale factor and
+// parallelism.
+func NewQuery(id string, sf, partitions int) *Query {
+	switch id {
+	case "q5", "q16", "q94", "q95":
+	default:
+		panic("tpcds: unknown query " + id)
+	}
+	if sf <= 0 || partitions <= 0 {
+		panic("tpcds: invalid scale factor or partitions")
+	}
+	return &Query{
+		id: id, sf: sf, partitions: partitions,
+		workScale: 1, sample: 1, seed: 8, slo: 2 * time.Minute,
+	}
+}
+
+// WithSample generates 1/f of the rows while modelling full volume (rows
+// carry f-times the bytes and CPU cost); the computed answers remain real
+// answers over the sampled tables.
+func (q *Query) WithSample(f int) *Query {
+	if f > 0 {
+		q.sample = f
+	}
+	return q
+}
+
+// WithWorkScale adjusts CPU-cost calibration and returns the query.
+func (q *Query) WithWorkScale(s float64) *Query {
+	q.workScale = s
+	return q
+}
+
+// Name implements workloads.Workload.
+func (q *Query) Name() string { return fmt.Sprintf("tpcds-%s-sf%d", q.id, q.sf) }
+
+// DefaultParallelism implements workloads.Workload.
+func (q *Query) DefaultParallelism() int { return q.partitions }
+
+// SLO implements workloads.Workload.
+func (q *Query) SLO() time.Duration { return q.slo }
+
+// Plan builds the query's dataflow.
+func (q *Query) Plan(ctx *rdd.Context) *rdd.RDD {
+	gen := Gen{SF: q.sf, Seed: q.seed, Sample: q.sample}
+	switch q.id {
+	case "q5":
+		return planQ5(ctx, gen, q.partitions, q.workScale)
+	case "q16":
+		return planShippingQuery(ctx, gen, CatalogSales, q.partitions, q.workScale)
+	case "q94":
+		return planShippingQuery(ctx, gen, WebSales, q.partitions, q.workScale)
+	case "q95":
+		return planQ95(ctx, gen, q.partitions, q.workScale)
+	default:
+		panic("tpcds: unknown query " + q.id)
+	}
+}
+
+// Run implements workloads.Workload.
+func (q *Query) Run(c *engine.Cluster) (*workloads.Report, error) {
+	return workloads.Timed(c, q.Name(), func() (string, int, error) {
+		ctx := rdd.NewContext()
+		job, err := c.RunJob(q.Plan(ctx), q.Name())
+		if err != nil {
+			return "", 0, err
+		}
+		rows := job.Rows()
+		if len(rows) == 0 {
+			return "", 0, fmt.Errorf("tpcds: %s returned no rows", q.id)
+		}
+		if q.id == "q5" {
+			return fmt.Sprintf("%d channel rollup rows: %s", len(rows), formatQ5(rows)), 1, nil
+		}
+		a := rows[0].(agg)
+		return fmt.Sprintf("orders=%d shipCost=%.2f netProfit=%.2f", a.Orders, a.ShipCost, a.Profit), 1, nil
+	})
+}
+
+// anchorMatch reports whether a sales row satisfies the queries' state +
+// date-window predicate.
+func anchorMatch(s SalesRow) bool {
+	return s.ShipState == anchorState &&
+		s.SoldDate >= anchorDateLo && s.SoldDate < anchorDateHi &&
+		s.ShipDate-s.SoldDate <= shipWindowMax
+}
+
+// orderAgg evaluates the per-order EXISTS / NOT-EXISTS logic shared by
+// Q16 and Q94: at least one anchor row; at least two distinct warehouses
+// across the order (EXISTS a row from another warehouse); no returns
+// (NOT EXISTS). needReturn flips the returns predicate for Q95.
+func orderAgg(sales []rdd.Row, returns []rdd.Row, needReturn bool) (agg, bool) {
+	var out agg
+	warehouseMask := uint32(0)
+	anyAnchor := false
+	for _, r := range sales {
+		s := r.(SalesRow)
+		warehouseMask |= 1 << uint(s.Warehouse)
+		if anchorMatch(s) {
+			anyAnchor = true
+			out.ShipCost += float64(s.ShipCost)
+			out.Profit += float64(s.NetProfit)
+		}
+	}
+	multiWarehouse := warehouseMask&(warehouseMask-1) != 0
+	hasReturn := len(returns) > 0
+	if !anyAnchor || !multiWarehouse || hasReturn != needReturn {
+		return agg{}, false
+	}
+	out.Orders = 1
+	return out, true
+}
+
+// planShippingQuery is Q16 (catalog) / Q94 (web): one big co-group of the
+// sales and returns tables by order number, per-order predicate
+// evaluation, then a single-partition global aggregate.
+func planShippingQuery(ctx *rdd.Context, gen Gen, table Table, parts int, ws float64) *rdd.RDD {
+	sales := gen.SalesSource(ctx, table, parts, ws)
+	returns := gen.ReturnsSource(ctx, table, parts, ws)
+	perOrder := sales.CoGroup(returns, "per-order", parts,
+		func(r rdd.Row) rdd.Key { return r.(SalesRow).Order },
+		func(r rdd.Row) rdd.Key { return r.(ReturnRow).Order },
+		func(_ int, left, right []rdd.Group) []rdd.Row {
+			retByOrder := make(map[rdd.Key][]rdd.Row, len(right))
+			for _, g := range right {
+				retByOrder[g.Key] = g.Rows
+			}
+			var out []rdd.Row
+			for _, g := range left {
+				if a, ok := orderAgg(g.Rows, retByOrder[g.Key], false); ok {
+					out = append(out, a)
+				}
+			}
+			return out
+		}, 40*ws, 32)
+	return globalAgg(perOrder, parts, ws)
+}
+
+// planQ95 is the heavier web query: web_sales grouped by order (shuffle),
+// multi-warehouse orders re-shuffled against web_returns (second shuffle
+// of the same data — the ws_wh self-join), keeping orders WITH returns.
+func planQ95(ctx *rdd.Context, gen Gen, parts int, ws float64) *rdd.RDD {
+	sales := gen.SalesSource(ctx, WebSales, parts, ws)
+	returns := gen.ReturnsSource(ctx, WebSales, parts, ws)
+
+	// ws_wh: orders shipped from more than one warehouse, carrying their
+	// rows forward (grouped: one KV{order, []rows} per order).
+	wsWh := sales.GroupByKey("ws_wh", parts,
+		func(r rdd.Row) rdd.Key { return r.(SalesRow).Order }, 25*ws, salesRowBytes).
+		Filter("multi-warehouse", func(r rdd.Row) bool {
+			mask := uint32(0)
+			for _, row := range r.(rdd.KV).V.([]rdd.Row) {
+				mask |= 1 << uint(row.(SalesRow).Warehouse)
+			}
+			return mask&(mask-1) != 0
+		}, 15*ws)
+
+	perOrder := wsWh.CoGroup(returns, "per-order", parts,
+		func(r rdd.Row) rdd.Key { return r.(rdd.KV).K },
+		func(r rdd.Row) rdd.Key { return r.(ReturnRow).Order },
+		func(_ int, left, right []rdd.Group) []rdd.Row {
+			retByOrder := make(map[rdd.Key][]rdd.Row, len(right))
+			for _, g := range right {
+				retByOrder[g.Key] = g.Rows
+			}
+			var out []rdd.Row
+			for _, g := range left {
+				salesRows := g.Rows[0].(rdd.KV).V.([]rdd.Row)
+				if a, ok := orderAgg(salesRows, retByOrder[g.Key], true); ok {
+					out = append(out, a)
+				}
+			}
+			return out
+		}, 40*ws, 32)
+	return globalAgg(perOrder, parts, ws)
+}
+
+// globalAgg reduces per-order rows to a single agg row.
+func globalAgg(perOrder *rdd.RDD, parts int, ws float64) *rdd.RDD {
+	_ = parts
+	return perOrder.ReduceByKey("global-agg", 1,
+		func(rdd.Row) rdd.Key { return 0 },
+		func(a, b rdd.Row) rdd.Row { return addAgg(a.(agg), b.(agg)) },
+		5*ws, 32)
+}
+
+// q5Row is one Q5 union row: a sales or returns amount attributed to a
+// (channel, outlet) pair.
+type q5Row struct {
+	Channel Channel
+	Outlet  int32
+	Sales   float64
+	Returns float64
+	Profit  float64
+}
+
+func addQ5(a, b q5Row) q5Row {
+	return q5Row{
+		Channel: a.Channel, Outlet: a.Outlet,
+		Sales: a.Sales + b.Sales, Returns: a.Returns + b.Returns, Profit: a.Profit + b.Profit,
+	}
+}
+
+// planQ5 unions the three channels' sales and returns scans, aggregates
+// per (channel, outlet), then rolls up per channel — TPC-DS Q5's
+// channel-report shape.
+func planQ5(ctx *rdd.Context, gen Gen, parts int, ws float64) *rdd.RDD {
+	// One concatenated scan: each partition yields its slice of all six
+	// fact tables (a union of scans is a scan of the union).
+	union := ctx.Source("union-scan", parts, func(p int) []rdd.Row {
+		var out []rdd.Row
+		for _, t := range []struct {
+			table   Table
+			channel Channel
+		}{
+			{StoreSales, ChannelStore},
+			{CatalogSales, ChannelCatalog},
+			{WebSales, ChannelWeb},
+		} {
+			n := gen.SalesRows(t.table)
+			lo, hi := partRange(n, parts, p)
+			for i := lo; i < hi; i++ {
+				s := gen.salesRowAt(t.table, i)
+				out = append(out, q5Row{
+					Channel: t.channel, Outlet: s.Outlet,
+					Sales: float64(s.ExtPrice), Profit: float64(s.NetProfit),
+				})
+				for _, r := range gen.returnRowsAt(t.table, i) {
+					out = append(out, q5Row{
+						Channel: t.channel, Outlet: s.Outlet,
+						Returns: float64(r.ReturnAmt), Profit: -float64(r.NetLoss),
+					})
+				}
+			}
+		}
+		return out
+	}, 260*ws*float64(gen.sample()), 56*gen.sample())
+
+	perOutlet := union.ReduceByKey("per-outlet", parts,
+		func(r rdd.Row) rdd.Key {
+			row := r.(q5Row)
+			return int(row.Channel)<<32 | int(row.Outlet)
+		},
+		func(a, b rdd.Row) rdd.Row { return addQ5(a.(q5Row), b.(q5Row)) },
+		30*ws, 56)
+
+	return perOutlet.ReduceByKey("rollup", 1,
+		func(r rdd.Row) rdd.Key { return int(r.(q5Row).Channel) },
+		func(a, b rdd.Row) rdd.Row {
+			m := addQ5(a.(q5Row), b.(q5Row))
+			m.Outlet = -1
+			return m
+		}, 5*ws, 56)
+}
+
+func formatQ5(rows []rdd.Row) string {
+	out := ""
+	for _, r := range rows {
+		q := r.(q5Row)
+		out += fmt.Sprintf("[%s sales=%.0f returns=%.0f profit=%.0f]",
+			q.Channel, q.Sales, q.Returns, q.Profit)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package tpcds
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"splitserve/internal/cloud"
+	"splitserve/internal/netsim"
+	"splitserve/internal/simclock"
+	"splitserve/internal/simrand"
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/spark/rdd"
+	"splitserve/internal/storage"
+)
+
+func testCluster(t *testing.T, execs int) *engine.Cluster {
+	t.Helper()
+	clock := simclock.New(simclock.Epoch)
+	net := netsim.New(clock)
+	provider := cloud.NewProvider(clock, net, simrand.New(5), cloud.DefaultOptions())
+	vm := provider.ProvisionReadyVM(cloud.M410XLarge)
+	cluster, err := engine.New(engine.Config{
+		AppID: "tpcds-test", Clock: clock, Net: net, Provider: provider,
+		Store:   storage.NewLocal(clock, net),
+		Backend: engine.NewStandalone(engine.StandaloneConfig{VMs: []*cloud.VM{vm}}),
+		Alloc:   engine.DefaultAllocConfig(engine.AllocStatic, execs, execs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+// refShipping computes the shipping-query answer by brute force over the
+// generated rows, independently of the engine.
+func refShipping(gen Gen, table Table, needReturn bool) agg {
+	n := gen.SalesRows(table)
+	orders := map[int64][]SalesRow{}
+	returns := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		s := gen.salesRowAt(table, i)
+		orders[s.Order] = append(orders[s.Order], s)
+		if rs := gen.returnRowsAt(table, i); len(rs) > 0 {
+			returns[s.Order] = true
+		}
+	}
+	var out agg
+	for order, rows := range orders {
+		anyAnchor := false
+		mask := uint32(0)
+		var ship, profit float64
+		for _, s := range rows {
+			mask |= 1 << uint(s.Warehouse)
+			if anchorMatch(s) {
+				anyAnchor = true
+				ship += float64(s.ShipCost)
+				profit += float64(s.NetProfit)
+			}
+		}
+		if anyAnchor && mask&(mask-1) != 0 && returns[order] == needReturn {
+			out.Orders++
+			out.ShipCost += ship
+			out.Profit += profit
+		}
+	}
+	return out
+}
+
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*den
+}
+
+func runQuery(t *testing.T, q *Query) []rdd.Row {
+	t.Helper()
+	cluster := testCluster(t, 8)
+	ctx := rdd.NewContext()
+	job, err := cluster.RunJob(q.Plan(ctx), q.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job.Rows()
+}
+
+func TestQ16MatchesReference(t *testing.T) {
+	q := NewQuery("q16", 1, 8).WithSample(8)
+	rows := runQuery(t, q)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	got := rows[0].(agg)
+	want := refShipping(Gen{SF: 1, Seed: q.seed, Sample: 8}, CatalogSales, false)
+	if got.Orders != want.Orders {
+		t.Fatalf("orders = %d, want %d", got.Orders, want.Orders)
+	}
+	if !approxEq(got.ShipCost, want.ShipCost, 1e-6) || !approxEq(got.Profit, want.Profit, 1e-6) {
+		t.Fatalf("measures = %+v, want %+v", got, want)
+	}
+	if got.Orders == 0 {
+		t.Fatal("query selected nothing; predicates degenerate")
+	}
+}
+
+func TestQ94MatchesReference(t *testing.T) {
+	q := NewQuery("q94", 1, 8).WithSample(8)
+	rows := runQuery(t, q)
+	got := rows[0].(agg)
+	want := refShipping(Gen{SF: 1, Seed: q.seed, Sample: 8}, WebSales, false)
+	if got.Orders != want.Orders || !approxEq(got.ShipCost, want.ShipCost, 1e-6) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestQ95MatchesReference(t *testing.T) {
+	q := NewQuery("q95", 1, 8).WithSample(8)
+	rows := runQuery(t, q)
+	got := rows[0].(agg)
+	want := refShipping(Gen{SF: 1, Seed: q.seed, Sample: 8}, WebSales, true)
+	if got.Orders != want.Orders || !approxEq(got.Profit, want.Profit, 1e-6) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if got.Orders == 0 {
+		t.Fatal("q95 selected nothing")
+	}
+}
+
+func TestQ5MatchesReference(t *testing.T) {
+	q := NewQuery("q5", 1, 8).WithSample(8)
+	rows := runQuery(t, q)
+	if len(rows) != 3 {
+		t.Fatalf("channel rows = %d, want 3", len(rows))
+	}
+	gen := Gen{SF: 1, Seed: q.seed, Sample: 8}
+	wantSales := map[Channel]float64{}
+	wantReturns := map[Channel]float64{}
+	for _, tc := range []struct {
+		table   Table
+		channel Channel
+	}{{StoreSales, ChannelStore}, {CatalogSales, ChannelCatalog}, {WebSales, ChannelWeb}} {
+		n := gen.SalesRows(tc.table)
+		for i := 0; i < n; i++ {
+			s := gen.salesRowAt(tc.table, i)
+			wantSales[tc.channel] += float64(s.ExtPrice)
+			for _, r := range gen.returnRowsAt(tc.table, i) {
+				wantReturns[tc.channel] += float64(r.ReturnAmt)
+			}
+		}
+	}
+	for _, r := range rows {
+		row := r.(q5Row)
+		if !approxEq(row.Sales, wantSales[row.Channel], 1e-4) {
+			t.Fatalf("%s sales = %.2f, want %.2f", row.Channel, row.Sales, wantSales[row.Channel])
+		}
+		if !approxEq(row.Returns, wantReturns[row.Channel], 1e-4) {
+			t.Fatalf("%s returns = %.2f, want %.2f", row.Channel, row.Returns, wantReturns[row.Channel])
+		}
+	}
+}
+
+func TestQueriesViaWorkloadInterface(t *testing.T) {
+	for _, id := range []string{"q5", "q16", "q94", "q95"} {
+		cluster := testCluster(t, 8)
+		rep, err := NewQuery(id, 1, 8).WithSample(8).Run(cluster)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.Elapsed <= 0 || rep.Answer == "" {
+			t.Fatalf("%s: degenerate report %+v", id, rep)
+		}
+	}
+}
+
+func TestScaleFactorScalesRows(t *testing.T) {
+	g1 := Gen{SF: 1, Seed: 8}
+	g8 := Gen{SF: 8, Seed: 8}
+	if g8.SalesRows(CatalogSales) != 8*g1.SalesRows(CatalogSales) {
+		t.Fatal("SF does not scale rows")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g := Gen{SF: 1, Seed: 8}
+	a := g.salesRowAt(WebSales, 123)
+	b := g.salesRowAt(WebSales, 123)
+	if a != b {
+		t.Fatal("generator nondeterministic")
+	}
+}
+
+func TestOrderNamespacesDisjoint(t *testing.T) {
+	g := Gen{SF: 1, Seed: 8}
+	a := g.salesRowAt(StoreSales, 0).Order
+	b := g.salesRowAt(CatalogSales, 0).Order
+	if a == b {
+		t.Fatal("order IDs collide across tables")
+	}
+}
+
+func TestReturnsBelongToSalesOrders(t *testing.T) {
+	g := Gen{SF: 1, Seed: 8}
+	found := 0
+	for i := 0; i < 10000 && found < 10; i++ {
+		for _, r := range g.returnRowsAt(CatalogSales, i) {
+			s := g.salesRowAt(CatalogSales, i)
+			if r.Order != s.Order {
+				t.Fatalf("return order %d != sales order %d", r.Order, s.Order)
+			}
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no returns generated")
+	}
+}
+
+func TestUnknownQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQuery("q99", 1, 8)
+}
+
+func TestQueryNames(t *testing.T) {
+	q := NewQuery("q16", 8, 32)
+	if !strings.Contains(q.Name(), "q16") || !strings.Contains(q.Name(), "sf8") {
+		t.Fatalf("name = %q", q.Name())
+	}
+	if q.DefaultParallelism() != 32 {
+		t.Fatalf("parallelism = %d", q.DefaultParallelism())
+	}
+}

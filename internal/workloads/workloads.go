@@ -1,0 +1,60 @@
+// Package workloads defines the contract the paper's four benchmark
+// workloads implement (TPC-DS queries, PageRank, K-means, SparkPi) and
+// shared helpers. A Workload owns its dataflow plan(s); iterative
+// workloads (K-means) submit several jobs against the same cluster,
+// reusing caches and shuffle outputs exactly as their Spark originals do.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"splitserve/internal/spark/engine"
+)
+
+// Workload is one benchmark program.
+type Workload interface {
+	// Name identifies the workload (e.g. "pagerank-850k", "tpcds-q16").
+	Name() string
+	// DefaultParallelism is the R the paper uses for this workload.
+	DefaultParallelism() int
+	// SLO is the paper's expected-execution-time envelope, used by the
+	// segueing facility.
+	SLO() time.Duration
+	// Run executes the workload to completion on the cluster and returns
+	// a report with the (real, verifiable) answer it computed.
+	Run(c *engine.Cluster) (*Report, error)
+}
+
+// Report is a workload's outcome.
+type Report struct {
+	Workload string
+	// Answer is a human-readable digest of the computed result, used by
+	// tests and examples to verify the computation really happened.
+	Answer string
+	// Jobs is how many engine jobs (actions) ran.
+	Jobs int
+	// Elapsed is total simulated execution time.
+	Elapsed time.Duration
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %s (%d jobs, %v)", r.Workload, r.Answer, r.Jobs, r.Elapsed.Round(time.Millisecond))
+}
+
+// Timed wraps a run body with elapsed-time accounting on the cluster's
+// virtual clock.
+func Timed(c *engine.Cluster, workload string, body func() (string, int, error)) (*Report, error) {
+	start := c.Clock().Now()
+	answer, jobs, err := body()
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Workload: workload,
+		Answer:   answer,
+		Jobs:     jobs,
+		Elapsed:  c.Clock().Since(start),
+	}, nil
+}
