@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check vet race sim bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-commit gate: static analysis plus the whole test
+# suite under the race detector.
+check:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+sim:
+	$(GO) run ./cmd/splitserve-sim
+
+bench:
+	$(GO) run ./cmd/splitserve-bench

@@ -35,8 +35,13 @@ func run() int {
 		daysim  = flag.Bool("daysim", false, "run the day-long inter-job provisioning comparison (Section 4.1)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		trials  = flag.Int("trials", 15, "trials for figure 8's error bars")
+		report  = flag.String("report", "", "append each run's telemetry report to result figures: json | prom")
 	)
 	flag.Parse()
+	if *report != "" && *report != "json" && *report != "prom" {
+		fmt.Fprintf(os.Stderr, "splitserve-bench: unknown report format %q (want json or prom)\n", *report)
+		return 2
+	}
 
 	if *daysim {
 		fmt.Println("== Day-long inter-job comparison (Section 4.1): one workday of 16-core jobs ==")
@@ -59,7 +64,7 @@ func run() int {
 		figs = []string{"1", "2", "4a", "4b", "5", "6", "7", "8", "9"}
 	}
 	for _, f := range figs {
-		if err := printFigure(f, *seed, *trials); err != nil {
+		if err := printFigure(f, *seed, *trials, *report); err != nil {
 			fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
 			return 1
 		}
@@ -67,7 +72,7 @@ func run() int {
 	return 0
 }
 
-func printFigure(fig string, seed uint64, trials int) error {
+func printFigure(fig string, seed uint64, trials int, report string) error {
 	start := time.Now()
 	switch fig {
 	case "1":
@@ -111,6 +116,9 @@ func printFigure(fig string, seed uint64, trials int) error {
 		if imp, err := experiments.Speedup(res, "Spark 8/32 autoscale", "SS 8 VM / 24 La"); err == nil {
 			fmt.Printf("hybrid vs VM autoscaling: %.1f%% less execution time (paper: 55.2%%)\n", imp*100)
 		}
+		if err := printReports(res, report); err != nil {
+			return err
+		}
 
 	case "6":
 		res, err := experiments.Figure6(seed)
@@ -124,6 +132,9 @@ func printFigure(fig string, seed uint64, trials int) error {
 		if imp, err := experiments.Speedup(res, "Spark 3/16 autoscale", "SS 3 VM / 13 La Segue"); err == nil {
 			fmt.Printf("segue  vs VM autoscaling: %.1f%% less execution time (paper: ~24%%)\n", imp*100)
 		}
+		if err := printReports(res, report); err != nil {
+			return err
+		}
 
 	case "7":
 		res, err := experiments.Figure7(seed)
@@ -134,6 +145,9 @@ func printFigure(fig string, seed uint64, trials int) error {
 		for _, r := range res {
 			fmt.Printf("--- %s (execution time %v)\n", r.Scenario, r.ExecTime.Round(100*time.Millisecond))
 			fmt.Print(r.Log.RenderTimeline(100))
+		}
+		if err := printReports(res, report); err != nil {
+			return err
 		}
 
 	case "8":
@@ -150,11 +164,39 @@ func printFigure(fig string, seed uint64, trials int) error {
 			return err
 		}
 		fmt.Print(experiments.FormatResults("Figure 9: SparkPi 1e10 darts", res, "Spark 64 VM"))
+		if err := printReports(res, report); err != nil {
+			return err
+		}
 
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
 	fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(10*time.Millisecond))
+	return nil
+}
+
+// printReports dumps each run's telemetry report in the requested format
+// ("" = off), labelled by scenario.
+func printReports(res []*experiments.Result, format string) error {
+	if format == "" {
+		return nil
+	}
+	for _, r := range res {
+		fmt.Printf("--- telemetry report: %s / %s ---\n", r.Workload, r.Scenario)
+		switch format {
+		case "json":
+			buf, err := r.Telem.Report().JSON()
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(buf)
+			fmt.Println()
+		case "prom":
+			if err := r.Telem.WritePrometheus(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

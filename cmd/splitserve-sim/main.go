@@ -39,14 +39,20 @@ func run() int {
 		r        = flag.Int("r", 0, "required cores R (0 = workload default)")
 		small    = flag.Int("small", 0, "free VM cores r (0 = R/4)")
 		segueAt  = flag.Duration("segue-at", 45*time.Second, "when segue capacity appears")
+		lambdaTO = flag.Duration("lambda-timeout", 0, "spark.lambda.executor.timeout (0 = default)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		width    = flag.Int("width", 100, "timeline width")
+		report   = flag.String("report", "", "emit only the telemetry report: json | prom")
 	)
 	flag.Parse()
 
 	kind, ok := scenarioByName[*scenario]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "splitserve-sim: unknown scenario %q\n", *scenario)
+		return 2
+	}
+	if *report != "" && *report != "json" && *report != "prom" {
+		fmt.Fprintf(os.Stderr, "splitserve-sim: unknown report format %q (want json or prom)\n", *report)
 		return 2
 	}
 	w, err := buildWorkload(*workload, *seed)
@@ -58,6 +64,9 @@ func run() int {
 	opts := []splitserve.Option{
 		splitserve.WithSeed(*seed),
 		splitserve.WithSegueAt(*segueAt),
+	}
+	if *lambdaTO > 0 {
+		opts = append(opts, splitserve.WithLambdaTimeout(*lambdaTO))
 	}
 	cores := w.DefaultParallelism()
 	if *r > 0 {
@@ -73,6 +82,23 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 1
+	}
+	switch *report {
+	case "json":
+		buf, err := res.ReportJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+			return 1
+		}
+		os.Stdout.Write(buf)
+		fmt.Println()
+		return 0
+	case "prom":
+		if err := res.ReportPrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+			return 1
+		}
+		return 0
 	}
 	fmt.Println(res)
 	fmt.Println("answer:", res.Answer)

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"splitserve/internal/telemetry"
 )
 
 // Pricing constants (us-east-1, late 2019/2020, matching the paper's setup).
@@ -90,10 +92,22 @@ type Item struct {
 // ready to use.
 type Meter struct {
 	items []Item
+	hub   *telemetry.Hub
 }
 
+// SetTelemetry makes the meter mirror cost accrual into per-kind
+// billing_cost_usd_total and billing_items_total counters on hub.
+func (m *Meter) SetTelemetry(h *telemetry.Hub) { m.hub = h }
+
 // Add records a billed line.
-func (m *Meter) Add(item Item) { m.items = append(m.items, item) }
+func (m *Meter) Add(item Item) {
+	m.items = append(m.items, item)
+	if m.hub != nil {
+		kl := telemetry.L("kind", item.Kind)
+		m.hub.Counter("billing_cost_usd_total", kl).Add(item.USD)
+		m.hub.Counter("billing_items_total", kl).Inc()
+	}
+}
 
 // AddVM bills an instance (or a share of one) for an interval.
 func (m *Meter) AddVM(ref string, pricePerHour float64, totalCores, usedCores int, d time.Duration) {

@@ -7,6 +7,7 @@ import (
 	"splitserve/internal/netsim"
 	"splitserve/internal/simclock"
 	"splitserve/internal/simrand"
+	"splitserve/internal/telemetry"
 )
 
 // VMState enumerates the lifecycle of an instance.
@@ -43,6 +44,8 @@ type VM struct {
 	EndedAt     time.Time
 	EBS         *netsim.Pool
 	NIC         *netsim.Pool
+
+	bootSpan *telemetry.Span
 }
 
 // Uptime returns how long the VM has been (or was) billable: from request
@@ -98,8 +101,10 @@ type Lambda struct {
 	// memory-proportional egress limit).
 	Egress *netsim.Pool
 
-	expiry *simclock.Timer
-	onKill func(*Lambda)
+	expiry    *simclock.Timer
+	onKill    func(*Lambda)
+	startSpan *telemetry.Span
+	lifeSpan  *telemetry.Span
 }
 
 // BilledDuration returns the runtime used for billing: ready (or invoked,
@@ -158,6 +163,7 @@ type Provider struct {
 	warmPool  map[int]int // memoryMB -> available warm environments
 	vms       []*VM
 	lambdas   []*Lambda
+	insts     providerInstruments
 }
 
 // NewProvider returns a Provider driven by clock and net.
@@ -218,6 +224,9 @@ func (p *Provider) RequestVM(t VMType, bootOverride time.Duration, ready func(*V
 		NIC:         p.net.NewPool(fmt.Sprintf("vm-%03d/nic", p.vmSeq), netsim.Mbps(t.NetMbps)),
 	}
 	p.vms = append(p.vms, vm)
+	p.insts.vmRequests.Inc()
+	p.insts.vmsPending.Inc()
+	vm.bootSpan = p.tracer().StartSpan("cloud", "vm_boot", telemetry.L("vm", vm.ID))
 	delay := bootOverride
 	if delay <= 0 {
 		delay = p.BootDelay()
@@ -228,6 +237,10 @@ func (p *Provider) RequestVM(t VMType, bootOverride time.Duration, ready func(*V
 		}
 		vm.State = VMReady
 		vm.ReadyAt = p.clock.Now()
+		p.insts.vmsPending.Dec()
+		p.insts.vmsLive.Inc()
+		p.insts.vmBoot.ObserveDuration(vm.ReadyAt.Sub(vm.RequestedAt))
+		vm.bootSpan.End()
 		if ready != nil {
 			ready(vm)
 		}
@@ -249,6 +262,7 @@ func (p *Provider) ProvisionReadyVM(t VMType) *VM {
 		NIC:         p.net.NewPool(fmt.Sprintf("vm-%03d/nic", p.vmSeq), netsim.Mbps(t.NetMbps)),
 	}
 	p.vms = append(p.vms, vm)
+	p.insts.vmsLive.Inc()
 	return vm
 }
 
@@ -257,6 +271,13 @@ func (p *Provider) TerminateVM(vm *VM) {
 	if vm.State == VMTerminated {
 		return
 	}
+	switch vm.State {
+	case VMPending:
+		p.insts.vmsPending.Dec()
+	case VMReady:
+		p.insts.vmsLive.Dec()
+	}
+	vm.bootSpan.End()
 	vm.State = VMTerminated
 	vm.EndedAt = p.clock.Now()
 }
@@ -290,6 +311,12 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 		onKill: expired,
 	}
 	p.lambdas = append(p.lambdas, l)
+	si := startIdx(cold)
+	p.insts.lambdaInvocations[si].Inc()
+	p.insts.lambdasInFlight.Inc()
+	l.startSpan = p.tracer().StartSpan("cloud", "lambda_start",
+		telemetry.L("lambda", l.ID), telemetry.L("start", startNames[si]))
+	l.lifeSpan = p.tracer().StartSpan("cloud", "lambda", telemetry.L("lambda", l.ID))
 	start := p.opts.WarmStart
 	if cold {
 		start = p.opts.ColdStart
@@ -300,12 +327,16 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 		}
 		l.State = LambdaRunning
 		l.ReadyAt = p.clock.Now()
+		p.insts.lambdaStart[si].ObserveDuration(l.ReadyAt.Sub(l.InvokedAt))
+		l.startSpan.End()
 		l.expiry = p.clock.After(p.opts.Limits.MaxLifetime, func() {
 			if l.State != LambdaRunning {
 				return
 			}
 			l.State = LambdaExpired
 			l.EndedAt = p.clock.Now()
+			p.insts.lambdasInFlight.Dec()
+			l.lifeSpan.End()
 			if l.onKill != nil {
 				l.onKill(l)
 			}
@@ -329,6 +360,9 @@ func (p *Provider) Release(l *Lambda) {
 	}
 	l.State = LambdaFinished
 	l.EndedAt = p.clock.Now()
+	p.insts.lambdasInFlight.Dec()
+	l.startSpan.End()
+	l.lifeSpan.End()
 	p.warmPool[l.Config.MemoryMB] = p.warmPoolFor(l.Config.MemoryMB) + 1
 }
 

@@ -1,0 +1,51 @@
+package cloud
+
+import (
+	"splitserve/internal/telemetry"
+)
+
+// providerInstruments are the control plane's resolved telemetry handles.
+// On a nil hub every handle is nil and each operation is a no-op.
+type providerInstruments struct {
+	hub *telemetry.Hub
+
+	vmRequests *telemetry.Counter
+	vmBoot     *telemetry.Histogram
+	vmsPending *telemetry.Gauge
+	vmsLive    *telemetry.Gauge
+
+	// Indexed by start temperature: 0 = warm, 1 = cold.
+	lambdaInvocations [2]*telemetry.Counter
+	lambdaStart       [2]*telemetry.Histogram
+	lambdasInFlight   *telemetry.Gauge
+}
+
+var startNames = [2]string{"warm", "cold"}
+
+func startIdx(cold bool) int {
+	if cold {
+		return 1
+	}
+	return 0
+}
+
+// SetTelemetry points the provider at a telemetry hub. Call before the
+// first RequestVM/Invoke; a nil hub (or never calling) leaves the
+// provider untelemetered.
+func (p *Provider) SetTelemetry(h *telemetry.Hub) {
+	p.insts = providerInstruments{
+		hub:             h,
+		vmRequests:      h.Counter("cloud_vm_requests_total"),
+		vmBoot:          h.Histogram("cloud_vm_boot_seconds", nil),
+		vmsPending:      h.Gauge("cloud_vms_pending"),
+		vmsLive:         h.Gauge("cloud_vms_live"),
+		lambdasInFlight: h.Gauge("cloud_lambdas_in_flight"),
+	}
+	for i, sn := range startNames {
+		sl := telemetry.L("start", sn)
+		p.insts.lambdaInvocations[i] = h.Counter("cloud_lambda_invocations_total", sl)
+		p.insts.lambdaStart[i] = h.Histogram("cloud_lambda_start_seconds", nil, sl)
+	}
+}
+
+func (p *Provider) tracer() *telemetry.Tracer { return p.insts.hub.Tracer() }

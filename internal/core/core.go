@@ -30,6 +30,7 @@ import (
 	"splitserve/internal/cloud"
 	"splitserve/internal/metrics"
 	"splitserve/internal/spark/engine"
+	"splitserve/internal/telemetry"
 )
 
 // Config parameterises SplitServe.
@@ -220,8 +221,11 @@ func (b *SplitServe) launchVMExecutor(slot *vmSlot, force bool) {
 	if mem == 0 {
 		mem = engine.VMExecutorMemoryMB(slot.vm.Type)
 	}
+	launch := b.c.Telemetry().Tracer().StartSpan("executor", "launch",
+		telemetry.L("exec", id), telemetry.L("kind", "vm"))
 	b.c.Clock().After(b.cfg.VMExecLaunchDelay, func() {
 		b.pendingVM--
+		launch.End()
 		if !force && b.live() >= b.desired {
 			slot.used--
 			return
@@ -246,11 +250,14 @@ func (b *SplitServe) launchLambdaExecutor() {
 	b.execSeq++
 	id := fmt.Sprintf("exec-l%02d", b.execSeq)
 	cfg := cloud.LambdaConfig{MemoryMB: b.cfg.LambdaMemoryMB}
+	launch := b.c.Telemetry().Tracer().StartSpan("executor", "launch",
+		telemetry.L("exec", id), telemetry.L("kind", "lambda"))
 	_, err := b.c.Provider().Invoke(cfg,
 		func(l *cloud.Lambda) {
 			// Environment is up; the executor runtime bootstraps next.
 			b.c.Clock().After(b.cfg.LambdaExecLaunchDelay, func() {
 				b.pendingLambda--
+				launch.End()
 				if b.live() >= b.desired {
 					b.c.Provider().Release(l)
 					return
@@ -438,10 +445,15 @@ func (b *SplitServe) onSegueCapacity(vm *cloud.VM, cores int) {
 // it crosses the age threshold (AllowAssign also checks at every
 // scheduling decision; the timers cover idle Lambdas).
 func (b *SplitServe) scheduleAgeDrains() {
-	for id := range b.lambdaByExec {
-		id := id
-		e := b.c.Executor(id)
-		if e == nil || e.State == engine.ExecDead || b.drainTimers[id] {
+	// Walk executors in registration order, not map order: same-instant
+	// drain timers fire FIFO, so iteration order shapes the trace and must
+	// be deterministic.
+	for _, e := range b.c.AllExecutors() {
+		id := e.ID
+		if b.lambdaByExec[id] == nil {
+			continue
+		}
+		if e.State == engine.ExecDead || b.drainTimers[id] {
 			continue
 		}
 		age := b.c.Clock().Since(e.RegisteredAt)
@@ -463,11 +475,17 @@ func (b *SplitServe) scheduleAgeDrains() {
 func (b *SplitServe) JobFinished() {}
 
 // Shutdown releases every live Lambda (end of scenario) so billing stops.
+// Lambdas are released in registration order so the resulting removal
+// events are deterministic.
 func (b *SplitServe) Shutdown() {
-	for id, l := range b.lambdaByExec {
+	for _, e := range b.c.AllExecutors() {
+		l := b.lambdaByExec[e.ID]
+		if l == nil {
+			continue
+		}
 		b.c.Provider().Release(l)
-		if e := b.c.Executor(id); e != nil && e.State != engine.ExecDead {
-			b.c.RemoveExecutor(id, true, "shutdown")
+		if e.State != engine.ExecDead {
+			b.c.RemoveExecutor(e.ID, true, "shutdown")
 		}
 	}
 	b.lambdaByExec = make(map[string]*cloud.Lambda)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"time"
@@ -240,5 +241,66 @@ func TestExtensionBurScale(t *testing.T) {
 	// notes SplitServe does not face.
 	if depleted.ExecTime <= full.ExecTime*3/2 {
 		t.Fatalf("depleted standbys not penalised: %v vs %v", depleted.ExecTime, full.ExecTime)
+	}
+}
+
+// TestRunTelemetryReportDeterministic runs the same scenario twice and
+// requires byte-identical telemetry reports: every span, mark, counter and
+// histogram must come out of the simulation in exactly the same order with
+// exactly the same values.
+func TestRunTelemetryReportDeterministic(t *testing.T) {
+	run := func() []byte {
+		res, err := Run(Scenario{Kind: SSHybridSegue, R: 8, SmallR: 2, Seed: 1,
+			SegueAt: 5 * time.Second}, smallWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := res.Telem.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs produced different telemetry reports")
+	}
+}
+
+// TestRunTelemetryCoverage checks the report carries the signals the paper's
+// analysis needs: per-stage scheduling latency, shuffle bytes, and executor
+// launch spans on both substrates.
+func TestRunTelemetryCoverage(t *testing.T) {
+	res, err := Run(Scenario{Kind: SSHybrid, R: 8, SmallR: 2, Seed: 1}, smallWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Telem.Report()
+
+	var schedStages, shuffleWritten int
+	for _, h := range rep.Histograms {
+		if h.Name == "engine_sched_latency_seconds" && h.Labels["stage"] != "" {
+			schedStages++
+		}
+	}
+	if schedStages == 0 {
+		t.Error("no per-stage engine_sched_latency_seconds histograms")
+	}
+	for _, c := range rep.Counters {
+		if c.Name == "shuffle_bytes_written_total" && c.Value > 0 {
+			shuffleWritten++
+		}
+	}
+	if shuffleWritten == 0 {
+		t.Error("no positive shuffle_bytes_written_total counters")
+	}
+	launchKinds := map[string]bool{}
+	for _, s := range rep.Spans {
+		if s.Component == "executor" && s.Name == "launch" {
+			launchKinds[s.Labels["kind"]] = true
+		}
+	}
+	if !launchKinds["vm"] || !launchKinds["lambda"] {
+		t.Errorf("executor launch spans missing a kind: got %v", launchKinds)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"splitserve/internal/simrand"
 	"splitserve/internal/spark/engine"
 	"splitserve/internal/storage"
+	"splitserve/internal/telemetry"
 	"splitserve/internal/workloads"
 )
 
@@ -131,6 +132,9 @@ type Result struct {
 	Answer   string
 	// Log gives access to the event timeline (Figure 7).
 	Log *metrics.Log
+	// Telem is the run's telemetry hub: every counter, histogram, span and
+	// mark the stack recorded, ready for -report export.
+	Telem *telemetry.Hub
 	// Lambdas/VMExecs are the executor mix that ran.
 	Lambdas int
 	VMExecs int
@@ -160,16 +164,19 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 
 	clock := simclock.New(simclock.Epoch)
 	net := netsim.New(clock)
+	hub := telemetry.New(clock)
 	provOpts := cloud.DefaultOptions()
 	if sc.VMBootMean > 0 {
 		provOpts.VMBootMean = sc.VMBootMean
 	}
 	provider := cloud.NewProvider(clock, net, simrand.New(sc.Seed+1), provOpts)
+	provider.SetTelemetry(hub)
 
 	// The long-running master (and, for SplitServe, the colocated HDFS
 	// datanode sharing its EBS bandwidth — the paper's bottleneck story).
 	master := provider.ProvisionReadyVM(sc.MasterVMType)
 	fs := hdfs.NewCluster(clock, net, hdfs.DefaultOptions())
+	fs.SetTelemetry(hub)
 	fs.AddDataNode("dn-"+master.ID, []*netsim.Pool{master.EBS})
 
 	s3opts := sc.S3
@@ -274,6 +281,7 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 		Provider:            provider,
 		Store:               store,
 		Backend:             backend,
+		Telem:               hub,
 		Alloc:               alloc,
 		Perf:                sc.Perf,
 		SLO:                 w.SLO(),
@@ -300,6 +308,7 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 		ExecTime: report.Elapsed + appStartup,
 		Answer:   report.Answer,
 		Log:      cluster.Log(),
+		Telem:    hub,
 	}
 	for _, e := range cluster.AllExecutors() {
 		switch e.Kind {
@@ -313,7 +322,7 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 	res.VMWork = dist[engine.ExecVM]
 	res.LambdaWork = dist[engine.ExecLambda]
 
-	meter := billMarginal(cluster, provider, objStore, initialIDs, master.ID, clock.Now())
+	meter := billMarginal(cluster, provider, objStore, initialIDs, master.ID, clock.Now(), hub)
 	res.CostUSD = meter.Total()
 	res.ByKind = meter.TotalByKind()
 	return res, nil
@@ -323,8 +332,9 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 // cores are charged proportionally for their peak concurrent use over the
 // job; VMs procured during the run (autoscale, segue) are charged in full
 // from request to job end; Lambdas per billed duration; S3 per request.
-func billMarginal(cluster *engine.Cluster, provider *cloud.Provider, objStore *s3q.Store, initialIDs map[string]bool, masterID string, end time.Time) *billing.Meter {
+func billMarginal(cluster *engine.Cluster, provider *cloud.Provider, objStore *s3q.Store, initialIDs map[string]bool, masterID string, end time.Time, hub *telemetry.Hub) *billing.Meter {
 	var meter billing.Meter
+	meter.SetTelemetry(hub)
 
 	// Peak concurrent executors per pre-existing host.
 	peak := map[string]int{}

@@ -88,6 +88,7 @@ type Cluster struct {
 	nodes    []*DataNode
 	blockSeq int
 	placeRR  int
+	insts    hdfsInstruments
 }
 
 // NewCluster returns an empty filesystem with no datanodes.
@@ -151,6 +152,16 @@ func (c *Cluster) place() ([]*DataNode, error) {
 // namenode round trip plus a pipelined transfer through the client's pools
 // and every replica's pools. done is called exactly once.
 func (c *Cluster) Write(path string, payload any, size int64, cl storage.Client, done func(error)) {
+	c.insts.opWrite.Inc()
+	begun := c.clock.Now()
+	inner := done
+	done = func(err error) {
+		if err == nil {
+			c.insts.bytesWritten.Add(float64(size))
+			c.insts.writeSecs.ObserveDuration(c.clock.Since(begun))
+		}
+		inner(err)
+	}
 	c.clock.After(c.opts.MetaLatency, func() {
 		if _, ok := c.files[path]; ok {
 			done(fmt.Errorf("writing %s: %w", path, ErrExists))
@@ -207,6 +218,20 @@ func (c *Cluster) Write(path string, payload any, size int64, cl storage.Client,
 // writes its per-reducer files (sequentially over one connection). done is
 // called exactly once.
 func (c *Cluster) WriteBatch(files []storage.Block, cl storage.Client, done func(error)) {
+	c.insts.opWrite.Inc()
+	begun := c.clock.Now()
+	var batchBytes int64
+	for _, blk := range files {
+		batchBytes += blk.Size
+	}
+	inner := done
+	done = func(err error) {
+		if err == nil {
+			c.insts.bytesWritten.Add(float64(batchBytes))
+			c.insts.writeSecs.ObserveDuration(c.clock.Since(begun))
+		}
+		inner(err)
+	}
 	c.clock.After(c.opts.MetaLatency, func() {
 		var total int64
 		pools := append([]*netsim.Pool(nil), cl.Net...)
@@ -282,6 +307,20 @@ func (c *Cluster) Read(path string, cl storage.Client, done func(any, int64, err
 // coalesced flow per source datanode — how the engine's shuffle reader
 // consumes map outputs.
 func (c *Cluster) ReadMany(paths []string, cl storage.Client, done func([]storage.Block, error)) {
+	c.insts.opRead.Inc()
+	begun := c.clock.Now()
+	inner := done
+	done = func(bs []storage.Block, err error) {
+		if err == nil {
+			var total int64
+			for _, b := range bs {
+				total += b.Size
+			}
+			c.insts.bytesRead.Add(float64(total))
+			c.insts.readSecs.ObserveDuration(c.clock.Since(begun))
+		}
+		inner(bs, err)
+	}
 	c.clock.After(c.opts.MetaLatency, func() {
 		out := make([]storage.Block, len(paths))
 		perNode := make(map[*DataNode]int64)
@@ -322,6 +361,7 @@ func (c *Cluster) ReadMany(paths []string, cl storage.Client, done func([]storag
 // Delete removes files immediately (metadata-only, as block reclamation is
 // asynchronous in HDFS).
 func (c *Cluster) Delete(paths []string) {
+	c.insts.opDelete.Inc()
 	for _, p := range paths {
 		if f, ok := c.files[p]; ok {
 			for _, b := range f.blocks {
@@ -355,6 +395,7 @@ func (c *Cluster) Exists(path string) bool {
 
 // List returns the files under prefix, sorted.
 func (c *Cluster) List(prefix string) []string {
+	c.insts.opList.Inc()
 	var out []string
 	for p := range c.files {
 		if strings.HasPrefix(p, prefix) {

@@ -21,6 +21,7 @@ type FileInfo struct {
 
 // Stat returns metadata for path.
 func (c *Cluster) Stat(path string) (FileInfo, error) {
+	c.insts.opStat.Inc()
 	f, ok := c.files[path]
 	if !ok {
 		return FileInfo{}, fmt.Errorf("stat %s: %w", path, ErrNotFound)
@@ -34,6 +35,7 @@ func (c *Cluster) Stat(path string) (FileInfo, error) {
 
 // Rename moves a file to a new path (metadata-only, like HDFS rename).
 func (c *Cluster) Rename(from, to string) error {
+	c.insts.opRename.Inc()
 	f, ok := c.files[from]
 	if !ok {
 		return fmt.Errorf("rename %s: %w", from, ErrNotFound)
@@ -51,6 +53,7 @@ func (c *Cluster) Rename(from, to string) error {
 // directory-rename idiom used for commit protocols). It returns the number
 // of files moved.
 func (c *Cluster) RenamePrefix(fromPrefix, toPrefix string) (int, error) {
+	c.insts.opRename.Inc()
 	var moves []string
 	for p := range c.files {
 		if strings.HasPrefix(p, fromPrefix) {

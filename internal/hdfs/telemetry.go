@@ -1,0 +1,41 @@
+package hdfs
+
+import (
+	"splitserve/internal/telemetry"
+)
+
+// hdfsInstruments are the filesystem's resolved telemetry handles. On a
+// nil hub every handle is nil and each operation is a no-op.
+type hdfsInstruments struct {
+	bytesWritten *telemetry.Counter
+	bytesRead    *telemetry.Counter
+	writeSecs    *telemetry.Histogram
+	readSecs     *telemetry.Histogram
+
+	opWrite  *telemetry.Counter
+	opRead   *telemetry.Counter
+	opDelete *telemetry.Counter
+	opRename *telemetry.Counter
+	opStat   *telemetry.Counter
+	opList   *telemetry.Counter
+}
+
+// SetTelemetry points the filesystem at a telemetry hub. A nil hub (or
+// never calling) leaves it untelemetered.
+func (c *Cluster) SetTelemetry(h *telemetry.Hub) {
+	op := func(name string) *telemetry.Counter {
+		return h.Counter("hdfs_namespace_ops_total", telemetry.L("op", name))
+	}
+	c.insts = hdfsInstruments{
+		bytesWritten: h.Counter("hdfs_bytes_written_total"),
+		bytesRead:    h.Counter("hdfs_bytes_read_total"),
+		writeSecs:    h.Histogram("hdfs_write_seconds", nil),
+		readSecs:     h.Histogram("hdfs_read_seconds", nil),
+		opWrite:      op("write"),
+		opRead:       op("read"),
+		opDelete:     op("delete"),
+		opRename:     op("rename"),
+		opStat:       op("stat"),
+		opList:       op("list"),
+	}
+}

@@ -2,13 +2,22 @@
 // registrations, task and stage spans, segue commencement, and job
 // boundaries. Figure 7 of the paper — per-scenario execution timelines with
 // executor start markers and the segue instant — is rendered from this log.
+//
+// Since the telemetry refactor the Log is a *view builder* over the span
+// tracer in internal/telemetry: every Add bridges the event into spans and
+// marks on the Log's Hub, and TaskSpans/StageSpans/RenderTimeline read the
+// tracer back. There is no parallel bookkeeping path — the Figure-7
+// timeline and the -report exports are two projections of one trace.
 package metrics
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
+
+	"splitserve/internal/telemetry"
 )
 
 // Kind enumerates event types.
@@ -33,6 +42,20 @@ const (
 	TaskSpeculated     Kind = "task_speculated"
 )
 
+// String returns the kind's wire name.
+func (k Kind) String() string { return string(k) }
+
+// Valid reports whether k is a known event kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case JobStart, JobEnd, StageStart, StageEnd, TaskStart, TaskEnd,
+		TaskFailed, ExecutorRegistered, ExecutorRemoved, ExecutorDraining,
+		SegueCommence, VMRequested, VMReady, StageResubmitted, TaskSpeculated:
+		return true
+	}
+	return false
+}
+
 // Event is one timeline entry.
 type Event struct {
 	At       time.Time
@@ -44,20 +67,135 @@ type Event struct {
 	Note     string
 }
 
-// Log is an append-only event log. The zero value is unusable; call New.
+// Log is an append-only event log bridging into a telemetry Hub.
+// The zero value is unusable; call New or NewWithTelemetry.
 type Log struct {
 	start  time.Time
+	hub    *telemetry.Hub
 	events []Event
+	end    time.Time // latest event instant, for clamping open spans
+
+	openTasks  map[taskKey]*telemetry.Span
+	openStages map[int]*telemetry.Span
+	openJobs   map[string]*telemetry.Span
+	openExecs  map[string]*telemetry.Span
+	openDrains map[string]*telemetry.Span
 }
 
-// New returns a Log whose relative timestamps are measured from start.
-func New(start time.Time) *Log { return &Log{start: start} }
+type taskKey struct {
+	exec  string
+	stage int
+	task  int
+}
+
+// New returns a Log whose relative timestamps are measured from start. It
+// owns a private telemetry Hub; use NewWithTelemetry to share one with the
+// rest of the stack.
+func New(start time.Time) *Log {
+	return NewWithTelemetry(start, telemetry.New(telemetry.StaticClock(start)))
+}
+
+// NewWithTelemetry returns a Log that bridges its events into hub's
+// tracer. Events carry explicit timestamps, so the hub's clock is never
+// consulted by the Log itself.
+func NewWithTelemetry(start time.Time, hub *telemetry.Hub) *Log {
+	if hub == nil {
+		hub = telemetry.New(telemetry.StaticClock(start))
+	}
+	return &Log{
+		start:      start,
+		hub:        hub,
+		end:        start,
+		openTasks:  make(map[taskKey]*telemetry.Span),
+		openStages: make(map[int]*telemetry.Span),
+		openJobs:   make(map[string]*telemetry.Span),
+		openExecs:  make(map[string]*telemetry.Span),
+		openDrains: make(map[string]*telemetry.Span),
+	}
+}
 
 // Start returns the log's origin instant.
 func (l *Log) Start() time.Time { return l.start }
 
-// Add appends an event.
-func (l *Log) Add(e Event) { l.events = append(l.events, e) }
+// Telemetry returns the hub this log bridges into.
+func (l *Log) Telemetry() *telemetry.Hub { return l.hub }
+
+// Add appends an event and mirrors it into the tracer. Unknown kinds are
+// rejected with an error and not recorded (guards against typo'd event
+// names as call sites multiply).
+func (l *Log) Add(e Event) error {
+	if !e.Kind.Valid() {
+		return fmt.Errorf("metrics: unknown event kind %q", string(e.Kind))
+	}
+	l.events = append(l.events, e)
+	if e.At.After(l.end) {
+		l.end = e.At
+	}
+	l.bridge(e)
+	return nil
+}
+
+// bridge translates one event into tracer spans and marks.
+func (l *Log) bridge(e Event) {
+	tr := l.hub.Tracer()
+	switch e.Kind {
+	case JobStart:
+		l.openJobs[e.Note] = tr.StartSpanAt(e.At, "job", "run", telemetry.L("job", e.Note))
+	case JobEnd:
+		if s, ok := l.openJobs[e.Note]; ok {
+			s.EndAt(e.At)
+			delete(l.openJobs, e.Note)
+		}
+	case StageStart:
+		l.openStages[e.Stage] = tr.StartSpanAt(e.At, "stage", "run",
+			telemetry.L("stage", strconv.Itoa(e.Stage)))
+	case StageEnd:
+		if s, ok := l.openStages[e.Stage]; ok {
+			s.EndAt(e.At)
+			delete(l.openStages, e.Stage)
+		}
+	case TaskStart:
+		k := taskKey{e.Exec, e.Stage, e.Task}
+		l.openTasks[k] = tr.StartSpanAt(e.At, "task", "run",
+			telemetry.L("exec", e.Exec),
+			telemetry.L("kind", e.ExecKind),
+			telemetry.L("stage", strconv.Itoa(e.Stage)),
+			telemetry.L("task", strconv.Itoa(e.Task)))
+	case TaskEnd, TaskFailed:
+		k := taskKey{e.Exec, e.Stage, e.Task}
+		if s, ok := l.openTasks[k]; ok {
+			s.EndAt(e.At)
+			delete(l.openTasks, k)
+		}
+	case ExecutorRegistered:
+		l.openExecs[e.Exec] = tr.StartSpanAt(e.At, "executor", "lifetime",
+			telemetry.L("exec", e.Exec), telemetry.L("kind", e.ExecKind))
+	case ExecutorDraining:
+		l.openDrains[e.Exec] = tr.StartSpanAt(e.At, "executor", "drain",
+			telemetry.L("exec", e.Exec), telemetry.L("kind", e.ExecKind))
+	case ExecutorRemoved:
+		if s, ok := l.openDrains[e.Exec]; ok {
+			s.EndAt(e.At)
+			delete(l.openDrains, e.Exec)
+		}
+		if s, ok := l.openExecs[e.Exec]; ok {
+			s.EndAt(e.At)
+			delete(l.openExecs, e.Exec)
+		}
+	case SegueCommence, VMRequested, VMReady, StageResubmitted, TaskSpeculated:
+		attrs := make([]telemetry.Label, 0, 3)
+		if e.Exec != "" {
+			attrs = append(attrs, telemetry.L("exec", e.Exec))
+		}
+		if e.Stage >= 0 {
+			attrs = append(attrs, telemetry.L("stage", strconv.Itoa(e.Stage)))
+		}
+		if e.Task >= 0 {
+			attrs = append(attrs, telemetry.L("task", strconv.Itoa(e.Task)))
+		}
+		tr.MarkAt(e.At, "timeline", string(e.Kind), attrs...)
+	}
+}
 
 // Events returns a copy of all events in insertion order.
 func (l *Log) Events() []Event { return append([]Event(nil), l.events...) }
@@ -76,7 +214,13 @@ func (l *Log) ByKind(k Kind) []Event {
 // Rel returns t as an offset from the log start.
 func (l *Log) Rel(t time.Time) time.Duration { return t.Sub(l.start) }
 
-// Span is one task execution on one executor.
+// End returns the instant of the latest event recorded so far (the log
+// start if no events have been added).
+func (l *Log) End() time.Time { return l.end }
+
+// Span is one task execution on one executor. Open marks a task that
+// started but never finished (e.g. its Lambda drained mid-run); its End
+// is clamped to the log end.
 type Span struct {
 	Exec     string
 	ExecKind string
@@ -84,33 +228,35 @@ type Span struct {
 	Task     int
 	Start    time.Time
 	End      time.Time
+	Open     bool
 }
 
-// TaskSpans pairs task_start/task_end events into spans, ordered by start
-// time then executor.
+// TaskSpans projects the tracer's task spans, ordered by start time then
+// executor. Tasks with a task_start but no matching end are emitted as
+// open spans clamped to the log end, so drained-Lambda tasks still
+// render.
 func (l *Log) TaskSpans() []Span {
-	type key struct {
-		exec  string
-		stage int
-		task  int
-	}
-	open := map[key]Event{}
 	var spans []Span
-	for _, e := range l.events {
-		k := key{e.Exec, e.Stage, e.Task}
-		switch e.Kind {
-		case TaskStart:
-			open[k] = e
-		case TaskEnd, TaskFailed:
-			if s, ok := open[k]; ok {
-				spans = append(spans, Span{
-					Exec: e.Exec, ExecKind: s.ExecKind,
-					Stage: e.Stage, Task: e.Task,
-					Start: s.At, End: e.At,
-				})
-				delete(open, k)
-			}
+	for _, s := range l.hub.Tracer().Spans() {
+		if s.Component != "task" || s.Name != "run" {
+			continue
 		}
+		stage, _ := strconv.Atoi(s.Attr("stage"))
+		task, _ := strconv.Atoi(s.Attr("task"))
+		sp := Span{
+			Exec:     s.Attr("exec"),
+			ExecKind: s.Attr("kind"),
+			Stage:    stage,
+			Task:     task,
+			Start:    s.Start,
+		}
+		if s.Open {
+			sp.End = l.end
+			sp.Open = true
+		} else {
+			sp.End = s.Finish
+		}
+		spans = append(spans, sp)
 	}
 	sort.Slice(spans, func(i, j int) bool {
 		if !spans[i].Start.Equal(spans[j].Start) {
@@ -121,27 +267,22 @@ func (l *Log) TaskSpans() []Span {
 	return spans
 }
 
-// StageBoundaries returns (stage, start, end) triples.
+// StageSpan is one stage's (start, end) interval.
 type StageSpan struct {
 	Stage int
 	Start time.Time
 	End   time.Time
 }
 
-// StageSpans pairs stage start/end events.
+// StageSpans projects the tracer's completed stage spans.
 func (l *Log) StageSpans() []StageSpan {
-	open := map[int]time.Time{}
 	var out []StageSpan
-	for _, e := range l.events {
-		switch e.Kind {
-		case StageStart:
-			open[e.Stage] = e.At
-		case StageEnd:
-			if s, ok := open[e.Stage]; ok {
-				out = append(out, StageSpan{Stage: e.Stage, Start: s, End: e.At})
-				delete(open, e.Stage)
-			}
+	for _, s := range l.hub.Tracer().Spans() {
+		if s.Component != "stage" || s.Name != "run" || s.Open {
+			continue
 		}
+		stage, _ := strconv.Atoi(s.Attr("stage"))
+		out = append(out, StageSpan{Stage: stage, Start: s.Start, End: s.Finish})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
@@ -149,7 +290,10 @@ func (l *Log) StageSpans() []StageSpan {
 
 // RenderTimeline draws an ASCII per-executor timeline of task activity
 // (Figure 7 style): one row per executor, '#' where a task is running,
-// '|' at segue commencement, executor rows ordered by registration.
+// '|' at segue commencement, executor rows ordered by registration. A
+// header tick row marks segue ('S') and VM-ready ('V') columns
+// unconditionally, so those instants stay visible even when every
+// executor row is dense with task activity.
 func (l *Log) RenderTimeline(width int) string {
 	if width <= 10 {
 		width = 80
@@ -205,16 +349,27 @@ func (l *Log) RenderTimeline(width int) string {
 			row[i] = '#'
 		}
 	}
+	tick := make([]byte, width)
+	for i := range tick {
+		tick[i] = ' '
+	}
 	for _, e := range l.ByKind(SegueCommence) {
 		c := col(e.At)
+		tick[c] = 'S'
 		for _, row := range rows {
 			if row[c] == '.' {
 				row[c] = '|'
 			}
 		}
 	}
+	for _, e := range l.ByKind(VMReady) {
+		if c := col(e.At); tick[c] == ' ' {
+			tick[c] = 'V'
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "timeline 0s .. %.1fs  ('#'=task running, '|'=segue)\n", total.Seconds())
+	fmt.Fprintf(&b, "timeline 0s .. %.1fs  ('#'=task running, '|'=segue; header: S=segue, V=vm-ready)\n", total.Seconds())
+	fmt.Fprintf(&b, "%-22s %s\n", "", tick)
 	for _, id := range execs {
 		fmt.Fprintf(&b, "%-22s %s\n", id+" ["+seen[id]+"]", rows[id])
 	}

@@ -47,11 +47,48 @@ func TestTaskSpansPairing(t *testing.T) {
 	}
 }
 
-func TestTaskSpansUnmatchedStart(t *testing.T) {
+func TestTaskSpansUnmatchedStartEmitsOpenSpan(t *testing.T) {
 	l := New(t0)
-	l.Add(Event{At: at(time.Second), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
-	if got := l.TaskSpans(); len(got) != 0 {
-		t.Fatalf("unmatched start produced spans: %+v", got)
+	l.Add(Event{At: at(time.Second), Kind: TaskStart, Exec: "e1", ExecKind: "lambda", Stage: 0, Task: 0})
+	l.Add(Event{At: at(9 * time.Second), Kind: ExecutorRemoved, Exec: "e1", ExecKind: "lambda"})
+	spans := l.TaskSpans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	s := spans[0]
+	if !s.Open {
+		t.Fatalf("span not marked open: %+v", s)
+	}
+	if !s.End.Equal(at(9 * time.Second)) {
+		t.Fatalf("open span not clamped to log end: %+v", s)
+	}
+	if s.Exec != "e1" || s.ExecKind != "lambda" {
+		t.Fatalf("span identity lost: %+v", s)
+	}
+}
+
+func TestAddRejectsUnknownKind(t *testing.T) {
+	l := New(t0)
+	if err := l.Add(Event{At: at(0), Kind: Kind("task_strat")}); err == nil {
+		t.Fatal("typo'd kind accepted")
+	}
+	if len(l.Events()) != 0 {
+		t.Fatal("rejected event was recorded")
+	}
+	if err := l.Add(Event{At: at(0), Kind: TaskStart, Exec: "e1"}); err != nil {
+		t.Fatalf("valid kind rejected: %v", err)
+	}
+}
+
+func TestKindStringAndValid(t *testing.T) {
+	if TaskStart.String() != "task_start" {
+		t.Fatalf("String = %q", TaskStart.String())
+	}
+	if !SegueCommence.Valid() {
+		t.Fatal("SegueCommence invalid")
+	}
+	if Kind("bogus").Valid() {
+		t.Fatal("bogus kind valid")
 	}
 }
 
@@ -86,6 +123,29 @@ func TestRenderTimeline(t *testing.T) {
 	}
 	if !strings.Contains(out, "|") {
 		t.Fatalf("no segue mark:\n%s", out)
+	}
+}
+
+func TestRenderTimelineHeaderTicks(t *testing.T) {
+	l := New(t0)
+	l.Add(Event{At: at(0), Kind: ExecutorRegistered, Exec: "e1", ExecKind: "vm"})
+	// Dense activity covering the whole row: the in-row segue marker can't
+	// land on a '.', so only the header tick row can show it.
+	l.Add(Event{At: at(0), Kind: TaskStart, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(10 * time.Second), Kind: TaskEnd, Exec: "e1", Stage: 0, Task: 0})
+	l.Add(Event{At: at(5 * time.Second), Kind: SegueCommence})
+	l.Add(Event{At: at(8 * time.Second), Kind: VMReady, Exec: "vm-1"})
+	out := l.RenderTimeline(40)
+	if !strings.Contains(out, "S") {
+		t.Fatalf("header missing segue tick:\n%s", out)
+	}
+	if !strings.Contains(out, "V") {
+		t.Fatalf("header missing vm-ready tick:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "e1 [vm]") && strings.Contains(line, "|") {
+			t.Fatalf("segue drawn over dense row:\n%s", out)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func (a *allocManager) start() {
 		a.target = a.cfg().Min
 		a.c.cfg.Backend.SetDesiredTotal(a.target)
 	}
+	a.c.insts.targetExecs.Set(float64(a.target))
 }
 
 func (a *allocManager) onJobStart() {
@@ -65,6 +66,8 @@ func (a *allocManager) tick() {
 				a.target = a.cfg().Max
 			}
 			a.addBatch *= 2
+			a.c.insts.scaleUp.Inc()
+			a.c.insts.targetExecs.Set(float64(a.target))
 			a.c.cfg.Backend.SetDesiredTotal(a.target)
 		}
 	} else {
@@ -98,6 +101,8 @@ func (a *allocManager) onBacklogChange() {
 			if a.target > a.cfg().Min {
 				a.target--
 			}
+			a.c.insts.scaleDown.Inc()
+			a.c.insts.targetExecs.Set(float64(a.target))
 			a.c.cfg.Backend.ReleaseIdle(ex)
 		})
 	}

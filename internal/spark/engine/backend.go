@@ -8,6 +8,7 @@ import (
 	"splitserve/internal/metrics"
 	"splitserve/internal/netsim"
 	"splitserve/internal/storage"
+	"splitserve/internal/telemetry"
 )
 
 // Backend is the scheduler-backend seam — the engine's analogue of the
@@ -204,8 +205,11 @@ func (b *Standalone) launchOn(slot *vmSlot) {
 	if mem == 0 {
 		mem = VMExecutorMemoryMB(slot.vm.Type)
 	}
+	launch := b.c.Telemetry().Tracer().StartSpan("executor", "launch",
+		telemetry.L("exec", id), telemetry.L("kind", "vm"))
 	b.c.Clock().After(b.cfg.ExecLaunchDelay, func() {
 		b.pendingLaunches--
+		launch.End()
 		if b.launched >= b.desired {
 			slot.used-- // demand evaporated while launching
 			return

@@ -12,6 +12,7 @@ import (
 	"splitserve/internal/spark/rdd"
 	"splitserve/internal/spark/shuffle"
 	"splitserve/internal/storage"
+	"splitserve/internal/telemetry"
 )
 
 // Engine errors.
@@ -67,7 +68,11 @@ type Config struct {
 	Backend Backend
 	Perf    PerfModel
 	Log     *metrics.Log
-	Alloc   AllocConfig
+	// Telem is the telemetry hub the engine records into. Defaults to the
+	// Log's hub (so the event timeline and the metrics share one trace);
+	// nil with no Log means a fresh hub is created.
+	Telem *telemetry.Hub
+	Alloc AllocConfig
 	// LocalityWait is how long a task holds out for the executor caching
 	// its input before running anywhere (Spark's spark.locality.wait).
 	LocalityWait time.Duration
@@ -101,6 +106,7 @@ type Cluster struct {
 	order   []string
 	sched   *scheduler
 	alloc   *allocManager
+	insts   *engineInstruments
 
 	jobSeq     int
 	stageSeq   int
@@ -151,7 +157,14 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Perf = DefaultPerfModel()
 	}
 	if cfg.Log == nil {
-		cfg.Log = metrics.New(cfg.Clock.Now())
+		if cfg.Telem != nil {
+			cfg.Log = metrics.NewWithTelemetry(cfg.Clock.Now(), cfg.Telem)
+		} else {
+			cfg.Log = metrics.New(cfg.Clock.Now())
+		}
+	}
+	if cfg.Telem == nil {
+		cfg.Telem = cfg.Log.Telemetry()
 	}
 	if cfg.LocalityWait == 0 {
 		cfg.LocalityWait = 3 * time.Second
@@ -172,6 +185,7 @@ func New(cfg Config) (*Cluster, error) {
 		shuffleIDs: make(map[shuffleKey]int),
 		cacheWhere: make(map[cachedPart]string),
 	}
+	c.insts = newEngineInstruments(cfg.Telem)
 	c.sched = newScheduler(c)
 	c.alloc = newAllocManager(c)
 	return c, nil
@@ -193,6 +207,9 @@ func (c *Cluster) Store() storage.Store { return c.cfg.Store }
 
 // Log returns the metrics log.
 func (c *Cluster) Log() *metrics.Log { return c.cfg.Log }
+
+// Telemetry returns the cluster's telemetry hub.
+func (c *Cluster) Telemetry() *telemetry.Hub { return c.cfg.Telem }
 
 // AppID returns the application ID.
 func (c *Cluster) AppID() string { return c.cfg.AppID }
@@ -262,6 +279,7 @@ func (c *Cluster) RegisterExecutor(spec ExecutorSpec) *Executor {
 		At: c.cfg.Clock.Now(), Kind: metrics.ExecutorRegistered,
 		Exec: spec.ID, ExecKind: spec.Kind.String(), Stage: -1, Task: -1,
 	})
+	c.insts.execLive[kindIdx(spec.Kind)].Inc()
 	c.sched.onExecutorUp(e)
 	return e
 }
@@ -282,6 +300,10 @@ func (c *Cluster) RemoveExecutor(id string, hostLost bool, reason string) {
 		At: c.cfg.Clock.Now(), Kind: metrics.ExecutorRemoved,
 		Exec: id, ExecKind: e.Kind.String(), Stage: -1, Task: -1, Note: reason,
 	})
+	c.insts.execLive[kindIdx(e.Kind)].Dec()
+	if !e.DrainingAt.IsZero() {
+		c.insts.execDrain[kindIdx(e.Kind)].ObserveDuration(e.RemovedAt.Sub(e.DrainingAt))
+	}
 	if hostLost {
 		c.cfg.Store.DropHost(e.HostID)
 		if !c.cfg.Store.Durable() {
@@ -312,6 +334,7 @@ func (c *Cluster) DrainExecutor(id string) {
 		At: c.cfg.Clock.Now(), Kind: metrics.ExecutorDraining,
 		Exec: id, ExecKind: e.Kind.String(), Stage: -1, Task: -1,
 	})
+	e.DrainingAt = c.cfg.Clock.Now()
 	if prev == ExecBusy {
 		e.State = ExecDraining
 		return // ExecutorDrained fires when the running task completes

@@ -132,6 +132,9 @@ type Executor struct {
 	RegisteredAt time.Time
 	RemovedAt    time.Time
 	IdleSince    time.Time
+	// DrainingAt is when the segue started draining this executor (zero if
+	// it never drained); RemovedAt-DrainingAt is the drain duration.
+	DrainingAt time.Time
 
 	current *Task
 	cache   *blockCache

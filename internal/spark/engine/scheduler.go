@@ -138,6 +138,7 @@ func (s *scheduler) enqueue(t *Task) {
 	t.Preferred = s.preferredExecutor(t)
 	s.pending = append(s.pending, t)
 	s.pendingTimes[t] = s.c.cfg.Clock.Now()
+	s.c.insts.pendingTasks.Set(float64(len(s.pending)))
 }
 
 // preferredExecutor returns the live executor caching a partition on this
@@ -185,6 +186,11 @@ func (s *scheduler) trySchedule() {
 				continue
 			}
 			if t := s.pickTask(e); t != nil {
+				if queuedAt, ok := s.pendingTimes[t]; ok {
+					wait := s.c.cfg.Clock.Now().Sub(queuedAt)
+					s.c.insts.queueWait.ObserveDuration(wait)
+					s.c.insts.stageLatency(t.Stage.ID).ObserveDuration(wait)
+				}
 				s.dequeue(t)
 				assigned = true
 				s.runTask(t, e)
@@ -246,6 +252,7 @@ func (s *scheduler) dequeue(t *Task) {
 		}
 	}
 	delete(s.pendingTimes, t)
+	s.c.insts.pendingTasks.Set(float64(len(s.pending)))
 }
 
 // onExecutorUp reacts to a new executor.
@@ -262,6 +269,7 @@ func (s *scheduler) onExecutorDown(e *Executor) {
 			Exec: e.ID, ExecKind: e.Kind.String(), Stage: t.Stage.ID, Task: t.Part,
 			Note: "executor lost",
 		})
+		s.c.insts.tasksFailed[kindIdx(e.Kind)].Inc()
 		s.retry(t)
 	}
 	s.trySchedule()
@@ -273,6 +281,7 @@ func (s *scheduler) retry(t *Task) {
 		s.abort(t.Job, &TaskError{Task: t})
 		return
 	}
+	s.c.insts.taskRetries.Inc()
 	s.enqueue(&Task{
 		Job: t.Job, Stage: t.Stage, Part: t.Part, Attempt: t.Attempt + 1,
 	})
@@ -303,6 +312,7 @@ func (s *scheduler) onTaskFinished(t *Task, e *Executor) {
 	t.State = TaskFinished
 	e.TasksRun++
 	e.current = nil
+	s.c.insts.tasksFinished[kindIdx(e.Kind)].Inc()
 	if started, ok := s.taskStarts[t]; ok {
 		elapsed := s.c.cfg.Clock.Now().Sub(started)
 		e.BusyTime += elapsed
@@ -386,6 +396,8 @@ func (s *scheduler) onFetchFailed(t *Task, e *Executor, shuffleID int) {
 		Exec: e.ID, ExecKind: e.Kind.String(), Stage: t.Stage.ID, Task: t.Part,
 		Note: "fetch failed",
 	})
+	s.c.insts.tasksFailed[kindIdx(e.Kind)].Inc()
+	s.c.insts.fetchFailures.Inc()
 	if e.State == ExecBusy {
 		e.State = ExecFree
 		e.IdleSince = s.c.cfg.Clock.Now()

@@ -89,6 +89,7 @@ func (s *scheduler) maybeSpeculate(st *Stage, job *Job) {
 				At: now, Kind: metrics.TaskSpeculated,
 				Exec: e.ID, ExecKind: e.Kind.String(), Stage: st.ID, Task: t.Part,
 			})
+			s.c.insts.tasksSpeculated.Inc()
 			s.enqueue(copyTask)
 		}
 	}

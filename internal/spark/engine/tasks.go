@@ -40,6 +40,7 @@ func (s *scheduler) startTaskBody(t *Task, e *Executor) {
 		At: s.c.cfg.Clock.Now(), Kind: metrics.TaskStart,
 		Exec: e.ID, ExecKind: e.Kind.String(), Stage: t.Stage.ID, Task: t.Part,
 	})
+	s.c.insts.tasksStarted[kindIdx(e.Kind)].Inc()
 
 	chain := stageChain(t.Stage.Target)
 
@@ -112,6 +113,7 @@ func (s *scheduler) fetchSide(t *Task, e *Executor, shuffleID int, k func(bucket
 		s.onFetchFailed(t, e, shuffleID)
 		return
 	}
+	fetchStart := s.c.cfg.Clock.Now()
 	if len(ids) == 0 {
 		s.c.cfg.Clock.After(0, func() {
 			if t.cancelled {
@@ -142,6 +144,8 @@ func (s *scheduler) fetchSide(t *Task, e *Executor, shuffleID int, k func(bucket
 			}
 			buckets[i] = rows
 		}
+		s.c.insts.shuffleRead[kindIdx(e.Kind)].Add(float64(total))
+		s.c.insts.fetchLatency[kindIdx(e.Kind)].ObserveDuration(s.c.cfg.Clock.Now().Sub(fetchStart))
 		k(buckets, total)
 	})
 }
@@ -191,6 +195,8 @@ func (s *scheduler) computeAndWrite(t *Task, e *Executor, chain []*rdd.RDD, star
 				blocks = append(blocks, storage.Block{ID: id, Payload: bucket, Size: size})
 			}
 		}
+		s.c.insts.shuffleWritten[kindIdx(e.Kind)].Add(float64(shuffleBytes))
+		s.c.insts.blocksWritten.Add(float64(len(blocks)))
 		work += float64(shuffleBytes) * s.c.cfg.Perf.SerUnitsPerByte
 		d := e.ComputeTime(s.c.cfg.Perf, work, inBytes+outBytes, s.c.cfg.Clock.Now())
 		s.c.cfg.Clock.After(d, func() {

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is a serialisable snapshot of one run's telemetry. All slices
+// are sorted (instruments by name+labels, spans by ID, marks by time
+// then record order) and all instants are virtual-time offsets from the
+// trace origin, so a deterministic simulation yields a byte-identical
+// report every run.
+type Report struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Spans      []SpanSnapshot      `json:"spans"`
+	Marks      []MarkSnapshot      `json:"marks"`
+}
+
+// CounterSnapshot is one counter's exported state.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's exported state.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's exported state. Buckets are
+// cumulative counts per upper bound, Prometheus-style; the final
+// implicit +Inf bucket equals Count.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []uint64          `json:"buckets"`
+}
+
+// SpanSnapshot is one span's exported state. Start/End are microsecond
+// offsets from the trace origin in virtual time; End is null while the
+// span is open.
+type SpanSnapshot struct {
+	ID        int               `json:"id"`
+	Component string            `json:"component"`
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	StartUS   int64             `json:"start_us"`
+	EndUS     *int64            `json:"end_us"`
+	Open      bool              `json:"open,omitempty"`
+}
+
+// MarkSnapshot is one instant event's exported state.
+type MarkSnapshot struct {
+	Component string            `json:"component"`
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	AtUS      int64             `json:"at_us"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Report captures the hub's current state as a deterministic snapshot.
+func (h *Hub) Report() *Report {
+	rep := &Report{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+		Spans:      []SpanSnapshot{},
+		Marks:      []MarkSnapshot{},
+	}
+	if h == nil {
+		return rep
+	}
+
+	h.reg.mu.Lock()
+	counterKeys := make([]string, 0, len(h.reg.counters))
+	for k := range h.reg.counters {
+		counterKeys = append(counterKeys, k)
+	}
+	gaugeKeys := make([]string, 0, len(h.reg.gauges))
+	for k := range h.reg.gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	histKeys := make([]string, 0, len(h.reg.hists))
+	for k := range h.reg.hists {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(counterKeys)
+	sort.Strings(gaugeKeys)
+	sort.Strings(histKeys)
+	counters := make([]*Counter, len(counterKeys))
+	for i, k := range counterKeys {
+		counters[i] = h.reg.counters[k]
+	}
+	gauges := make([]*Gauge, len(gaugeKeys))
+	for i, k := range gaugeKeys {
+		gauges[i] = h.reg.gauges[k]
+	}
+	hists := make([]*Histogram, len(histKeys))
+	for i, k := range histKeys {
+		hists[i] = h.reg.hists[k]
+	}
+	h.reg.mu.Unlock()
+
+	for _, c := range counters {
+		rep.Counters = append(rep.Counters, CounterSnapshot{
+			Name: c.name, Labels: labelMap(c.labels), Value: c.Value(),
+		})
+	}
+	for _, g := range gauges {
+		rep.Gauges = append(rep.Gauges, GaugeSnapshot{
+			Name: g.name, Labels: labelMap(g.labels), Value: g.Value(),
+		})
+	}
+	for _, hst := range hists {
+		rep.Histograms = append(rep.Histograms, HistogramSnapshot{
+			Name:    hst.name,
+			Labels:  labelMap(hst.labels),
+			Count:   hst.Count(),
+			Sum:     hst.Sum(),
+			Bounds:  hst.Bounds(),
+			Buckets: cumulative(hst.BucketCounts()),
+		})
+	}
+
+	origin := h.tr.Origin()
+	us := func(t time.Time) int64 { return t.Sub(origin).Microseconds() }
+	for _, s := range h.tr.Spans() {
+		snap := SpanSnapshot{
+			ID:        s.ID,
+			Component: s.Component,
+			Name:      s.Name,
+			Labels:    labelMap(s.Attrs),
+			StartUS:   us(s.Start),
+			Open:      s.Open,
+		}
+		if !s.Open {
+			end := us(s.Finish)
+			snap.EndUS = &end
+		}
+		rep.Spans = append(rep.Spans, snap)
+	}
+	for _, m := range h.tr.Marks() {
+		rep.Marks = append(rep.Marks, MarkSnapshot{
+			Component: m.Component,
+			Name:      m.Name,
+			Labels:    labelMap(m.Attrs),
+			AtUS:      us(m.At),
+		})
+	}
+	return rep
+}
+
+// cumulative converts per-bucket counts to cumulative counts.
+func cumulative(counts []uint64) []uint64 {
+	out := make([]uint64, len(counts))
+	var run uint64
+	for i, c := range counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// JSON renders the report as indented, key-sorted JSON. Two identical
+// runs produce byte-identical output.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WritePrometheus writes the registry portion of the hub's state in the
+// Prometheus text exposition format (metrics only; spans and marks are
+// JSON-report concerns).
+func (h *Hub) WritePrometheus(w io.Writer) error {
+	rep := h.Report()
+	for _, c := range rep.Counters {
+		if err := writeProm(w, c.Name, c.Labels, "", c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range rep.Gauges {
+		if err := writeProm(w, g.Name, g.Labels, "", g.Value); err != nil {
+			return err
+		}
+	}
+	for _, hs := range rep.Histograms {
+		for i, bound := range hs.Bounds {
+			lbl := cloneLabels(hs.Labels)
+			lbl["le"] = formatFloat(bound)
+			if err := writeProm(w, hs.Name, lbl, "_bucket", float64(hs.Buckets[i])); err != nil {
+				return err
+			}
+		}
+		lbl := cloneLabels(hs.Labels)
+		lbl["le"] = "+Inf"
+		if err := writeProm(w, hs.Name, lbl, "_bucket", float64(hs.Count)); err != nil {
+			return err
+		}
+		if err := writeProm(w, hs.Name, hs.Labels, "_sum", hs.Sum); err != nil {
+			return err
+		}
+		if err := writeProm(w, hs.Name, hs.Labels, "_count", float64(hs.Count)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cloneLabels(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+func writeProm(w io.Writer, name string, labels map[string]string, suffix string, value float64) error {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+			b.WriteString(`="`)
+			b.WriteString(labels[k])
+			b.WriteString(`"`)
+		}
+		b.WriteByte('}')
+	}
+	_, err := fmt.Fprintf(w, "%s %v\n", b.String(), value)
+	return err
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records spans (intervals) and marks (instants) against the
+// virtual clock. Span IDs are assigned in start order, so a deterministic
+// simulation produces an identical trace every run regardless of the
+// order in which spans later end.
+type Tracer struct {
+	clock Clock
+	start time.Time
+
+	mu    sync.Mutex
+	seq   int
+	spans []*Span
+	marks []Mark
+}
+
+// NewTracer returns a Tracer whose origin instant is clock.Now().
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock, start: clock.Now()}
+}
+
+// Origin returns the trace's time zero.
+func (t *Tracer) Origin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Span is one timed interval: an executor lifetime, a task execution, a
+// VM boot. Finish is meaningful only once Open is false.
+type Span struct {
+	ID        int
+	Component string
+	Name      string
+	Attrs     []Label
+	Start     time.Time
+	Finish    time.Time
+	Open      bool
+
+	tr *Tracer
+}
+
+// Mark is one instant event (segue commencement, VM request, ...).
+type Mark struct {
+	Component string
+	Name      string
+	Attrs     []Label
+	At        time.Time
+}
+
+// StartSpan opens a span at the current virtual time.
+func (t *Tracer) StartSpan(component, name string, attrs ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartSpanAt(t.clock.Now(), component, name, attrs...)
+}
+
+// StartSpanAt opens a span at an explicit instant (event logs that carry
+// their own timestamps bridge through this).
+func (t *Tracer) StartSpanAt(at time.Time, component, name string, attrs ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{
+		ID:        t.seq,
+		Component: component,
+		Name:      name,
+		Attrs:     sortLabels(attrs),
+		Start:     at,
+		Open:      true,
+		tr:        t,
+	}
+	t.seq++
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// End closes the span at the current virtual time. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.tr.clock.Now())
+}
+
+// EndAt closes the span at an explicit instant. Idempotent: only the
+// first close sticks.
+func (s *Span) EndAt(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.Open {
+		return
+	}
+	s.Open = false
+	s.Finish = at
+}
+
+// Attr returns the value of one span attribute ("" if absent).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	for _, l := range s.Attrs {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Mark records an instant event at the current virtual time.
+func (t *Tracer) Mark(component, name string, attrs ...Label) {
+	if t == nil {
+		return
+	}
+	t.MarkAt(t.clock.Now(), component, name, attrs...)
+}
+
+// MarkAt records an instant event at an explicit instant.
+func (t *Tracer) MarkAt(at time.Time, component, name string, attrs ...Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.marks = append(t.marks, Mark{
+		Component: component,
+		Name:      name,
+		Attrs:     sortLabels(attrs),
+		At:        at,
+	})
+}
+
+// Spans returns a snapshot of all spans in start order. The returned
+// values are copies; still-open spans have Open=true and a zero Finish.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+		out[i].tr = nil
+	}
+	return out
+}
+
+// Marks returns a snapshot of all marks in record order.
+func (t *Tracer) Marks() []Mark {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Mark(nil), t.marks...)
+}

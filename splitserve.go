@@ -21,6 +21,7 @@ package splitserve
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"splitserve/internal/cloud"
@@ -159,6 +160,19 @@ type Result struct {
 // Figure 7 view) as ASCII, width columns wide.
 func (r *Result) Timeline(width int) string {
 	return r.inner.Log.RenderTimeline(width)
+}
+
+// ReportJSON returns the run's full telemetry report — counters, gauges,
+// histograms, spans, and marks — as deterministic, indented JSON. Two runs
+// with identical inputs produce byte-identical reports.
+func (r *Result) ReportJSON() ([]byte, error) {
+	return r.inner.Telem.Report().JSON()
+}
+
+// ReportPrometheus writes the run's metrics (no spans) in the Prometheus
+// text exposition format.
+func (r *Result) ReportPrometheus(w io.Writer) error {
+	return r.inner.Telem.WritePrometheus(w)
 }
 
 // String summarises the result.
