@@ -1,0 +1,183 @@
+// Command splitserve-cluster runs the multi-job cluster scheduler: a
+// stream of real task-graph jobs (Poisson, uniform, bursty or explicit
+// trace arrivals) against one shared VM pool, with pluggable sharing
+// policies and the paper's three shortfall strategies:
+//
+//	splitserve-cluster -jobs 12 -arrival poisson:45s -policy fair -strategy bridge
+//	splitserve-cluster -mix sparkpi,tpcds -pool 32 -slo 1.3 -report json
+//	splitserve-cluster -compare
+//
+// Same seed, same flags → byte-identical -report json output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"splitserve/internal/cluster"
+	"splitserve/internal/experiments"
+	"splitserve/internal/workloads"
+)
+
+var mixFactories = map[string]func(seed uint64) workloads.Workload{
+	"sparkpi":  experiments.NewSparkPi,
+	"pagerank": experiments.NewPageRank,
+	"kmeans":   experiments.NewKMeans,
+	"tpcds":    func(seed uint64) workloads.Workload { return experiments.NewTPCDSQuery("q95") },
+}
+
+func mixNames() string {
+	names := make([]string, 0, len(mixFactories))
+	for n := range mixFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// parseMix resolves a comma-separated workload mix against mixFactories.
+func parseMix(spec string) ([]string, error) {
+	var out []string
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := mixFactories[name]; !ok {
+			return nil, fmt.Errorf("unknown workload %q in -mix (accepted: %s)", name, mixNames())
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -mix (accepted: %s)", mixNames())
+	}
+	return out, nil
+}
+
+// buildSpecs calibrates one baseline per mix entry and assembles the
+// round-robin job stream.
+func buildSpecs(mix []string, arrivals []time.Duration, cores int, seed uint64) ([]cluster.JobSpec, error) {
+	baselines := make(map[string]time.Duration, len(mix))
+	for _, name := range mix {
+		base, err := cluster.Baseline(mixFactories[name](seed), cores, seed)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", name, err)
+		}
+		baselines[name] = base
+	}
+	specs := make([]cluster.JobSpec, len(arrivals))
+	for i, at := range arrivals {
+		name := mix[i%len(mix)]
+		specs[i] = cluster.JobSpec{
+			Name:     name,
+			Workload: mixFactories[name](seed + uint64(i)),
+			Cores:    cores,
+			Arrival:  at,
+			Baseline: baselines[name],
+		}
+	}
+	return specs, nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jobs     = flag.Int("jobs", 8, "number of jobs in the stream")
+		mixSpec  = flag.String("mix", "sparkpi,pagerank,kmeans", "comma-separated workload mix: "+mixNames())
+		arrival  = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,...")
+		policy   = flag.String("policy", "fair", "core-sharing policy: fifo | fair")
+		strategy = flag.String("strategy", "bridge", "shortfall strategy: queue | autoscale | bridge")
+		slo      = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
+		pool     = flag.Int("pool", 16, "shared VM pool size in cores")
+		cores    = flag.Int("cores", 8, "per-job core demand R")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		report   = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
+		compare  = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+	)
+	flag.Parse()
+
+	if *report != "" && *report != "json" && *report != "prom" {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: unknown report format %q (want json or prom)\n", *report)
+		return 2
+	}
+
+	if *compare {
+		reps, err := experiments.ClusterComparison(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		fmt.Println("== multi-job day: shortfall strategies on one shared pool, real DAGs ==")
+		fmt.Print(experiments.FormatClusterComparison(reps))
+		return 0
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	pol, err := cluster.PolicyByName(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	strat, err := cluster.StrategyByName(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	arrivals, err := cluster.ParseArrivals(*arrival, *jobs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	specs, err := buildSpecs(mix, arrivals, *cores, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+
+	s, err := cluster.New(cluster.Config{
+		Jobs:      specs,
+		PoolCores: *pool,
+		Policy:    pol,
+		Strategy:  strat,
+		SLOFactor: *slo,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	rep, err := s.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+
+	switch *report {
+	case "json":
+		buf, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		os.Stdout.Write(buf)
+	case "prom":
+		if err := s.WriteProm(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+	default:
+		fmt.Print(rep)
+	}
+	return 0
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("sparkpi, kmeans,pagerank")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	if len(mix) != 3 || mix[0] != "sparkpi" || mix[1] != "kmeans" {
+		t.Fatalf("parseMix = %v", mix)
+	}
+	if _, err := parseMix("sparkpi,nope"); err == nil || !strings.Contains(err.Error(), "accepted:") {
+		t.Fatalf("unknown workload should list accepted names, got %v", err)
+	}
+	if _, err := parseMix(" , "); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+func TestMixFactoriesBuildWorkloads(t *testing.T) {
+	for name, mk := range mixFactories {
+		w := mk(1)
+		if w.Name() == "" || w.DefaultParallelism() <= 0 {
+			t.Fatalf("%s: degenerate workload", name)
+		}
+	}
+}
+
+func TestBuildSpecsRoundRobin(t *testing.T) {
+	arrivals := []time.Duration{0, time.Second, 2 * time.Second}
+	specs, err := buildSpecs([]string{"sparkpi", "kmeans"}, arrivals, 4, 1)
+	if err != nil {
+		t.Fatalf("buildSpecs: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs, want 3", len(specs))
+	}
+	if specs[0].Name != "sparkpi" || specs[1].Name != "kmeans" || specs[2].Name != "sparkpi" {
+		t.Fatalf("round-robin broken: %s %s %s", specs[0].Name, specs[1].Name, specs[2].Name)
+	}
+	for i, s := range specs {
+		if s.Baseline <= 0 {
+			t.Errorf("spec %d has no baseline", i)
+		}
+		if s.Arrival != arrivals[i] || s.Cores != 4 || s.Workload == nil {
+			t.Errorf("spec %d malformed: %+v", i, s)
+		}
+	}
+	if specs[0].Baseline != specs[2].Baseline {
+		t.Error("same workload name should share one calibrated baseline")
+	}
+}

@@ -5,9 +5,11 @@
 //
 //	splitserve-profile -substrate lambda
 //	splitserve-profile -substrate vm -pages 50000 -iterations 3
+//	splitserve-profile -report json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +18,22 @@ import (
 	"splitserve/internal/experiments"
 	"splitserve/internal/workloads/pagerank"
 )
+
+// profilePoint is one {dataset, parallelism} sweep sample in -report json.
+type profilePoint struct {
+	Pages       int     `json:"pages"`
+	Parallelism int     `json:"parallelism"`
+	ExecTimeUS  int64   `json:"exec_time_us"`
+	CostUSD     float64 `json:"cost_usd"`
+	Optimal     bool    `json:"optimal"`
+}
+
+type profileReport struct {
+	Substrate  string         `json:"substrate"`
+	Iterations int            `json:"iterations"`
+	Seed       uint64         `json:"seed"`
+	Points     []profilePoint `json:"points"`
+}
 
 func main() {
 	os.Exit(run())
@@ -28,6 +46,7 @@ func run() int {
 		iterations = flag.Int("iterations", 3, "PageRank iterations")
 		maxPar     = flag.Int("max-parallelism", 128, "largest degree of parallelism (powers of two from 1)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		report     = flag.String("report", "", "emit the profile as a machine-readable report: json | prom")
 	)
 	flag.Parse()
 
@@ -36,15 +55,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-profile: -substrate must be lambda or vm")
 		return 2
 	}
+	if *report != "" && *report != "json" && *report != "prom" {
+		fmt.Fprintf(os.Stderr, "splitserve-profile: unknown report format %q (want json or prom)\n", *report)
+		return 2
+	}
 
 	sizes := []int{25_000, 50_000, 100_000}
 	if *pages > 0 {
 		sizes = []int{*pages}
 	}
 
-	fmt.Printf("PageRank profiling on all-%s executors (paper Figure 4%s)\n",
-		*substrate, map[bool]string{true: "a", false: "b"}[lambda])
-	fmt.Printf("%8s %12s %12s %12s %12s\n", "pages", "parallelism", "exec time", "cost USD", "$/run-vs-min")
+	human := *report == ""
+	if human {
+		fmt.Printf("PageRank profiling on all-%s executors (paper Figure 4%s)\n",
+			*substrate, map[bool]string{true: "a", false: "b"}[lambda])
+		fmt.Printf("%8s %12s %12s %12s %12s\n", "pages", "parallelism", "exec time", "cost USD", "$/run-vs-min")
+	}
+	var all []profilePoint
 	for _, size := range sizes {
 		var pts []experiments.ProfilePoint
 		for par := 1; par <= *maxPar; par *= 2 {
@@ -80,6 +107,14 @@ func run() int {
 			}
 		}
 		for _, p := range pts {
+			all = append(all, profilePoint{
+				Pages: p.Pages, Parallelism: p.Parallelism,
+				ExecTimeUS: p.ExecTime.Microseconds(), CostUSD: p.CostUSD,
+				Optimal: p.ExecTime == best,
+			})
+			if !human {
+				continue
+			}
 			marker := ""
 			if p.ExecTime == best {
 				marker = "  <- performance-optimal parallelism"
@@ -88,7 +123,39 @@ func run() int {
 				p.Pages, p.Parallelism, p.ExecTime.Seconds(), p.CostUSD,
 				p.ExecTime.Seconds()/best.Seconds(), marker)
 		}
+		if human {
+			fmt.Println()
+		}
+	}
+
+	switch *report {
+	case "json":
+		buf, err := json.MarshalIndent(profileReport{
+			Substrate: *substrate, Iterations: *iterations, Seed: *seed, Points: all,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+			return 1
+		}
+		os.Stdout.Write(buf)
 		fmt.Println()
+	case "prom":
+		writeProm(os.Stdout, *substrate, all)
 	}
 	return 0
+}
+
+// writeProm renders the sweep as Prometheus gauges, one series per
+// {pages, parallelism} sample.
+func writeProm(w *os.File, substrate string, pts []profilePoint) {
+	fmt.Fprintln(w, "# TYPE splitserve_profile_exec_time_seconds gauge")
+	for _, p := range pts {
+		fmt.Fprintf(w, "splitserve_profile_exec_time_seconds{substrate=%q,pages=\"%d\",parallelism=\"%d\"} %g\n",
+			substrate, p.Pages, p.Parallelism, float64(p.ExecTimeUS)/1e6)
+	}
+	fmt.Fprintln(w, "# TYPE splitserve_profile_cost_usd gauge")
+	for _, p := range pts {
+		fmt.Fprintf(w, "splitserve_profile_cost_usd{substrate=%q,pages=\"%d\",parallelism=\"%d\"} %g\n",
+			substrate, p.Pages, p.Parallelism, p.CostUSD)
+	}
 }

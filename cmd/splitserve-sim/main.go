@@ -11,11 +11,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"splitserve"
 )
+
+// workloadNames is the accepted -workload vocabulary, kept in sync with
+// buildWorkload.
+var workloadNames = []string{
+	"kmeans", "pagerank", "sparkpi", "tpcds-q5", "tpcds-q16", "tpcds-q94", "tpcds-q95",
+}
+
+func scenarioNames() []string {
+	names := make([]string, 0, len(scenarioByName))
+	for n := range scenarioByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 var scenarioByName = map[string]splitserve.ScenarioKind{
 	"spark-small":  splitserve.ScenarioSparkSmall,
@@ -48,7 +64,8 @@ func run() int {
 
 	kind, ok := scenarioByName[*scenario]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "splitserve-sim: unknown scenario %q\n", *scenario)
+		fmt.Fprintf(os.Stderr, "splitserve-sim: unknown scenario %q (accepted: %s)\n",
+			*scenario, strings.Join(scenarioNames(), ", "))
 		return 2
 	}
 	if *report != "" && *report != "json" && *report != "prom" {
@@ -123,6 +140,7 @@ func buildWorkload(name string, seed uint64) (splitserve.Workload, error) {
 	case strings.HasPrefix(name, "tpcds-"):
 		return splitserve.TPCDSQuery(strings.TrimPrefix(name, "tpcds-")), nil
 	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
+		return nil, fmt.Errorf("unknown workload %q (accepted: %s)",
+			name, strings.Join(workloadNames, ", "))
 	}
 }

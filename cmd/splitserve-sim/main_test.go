@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestScenarioByNameCoversAllKinds(t *testing.T) {
 }
 
 func TestBuildWorkload(t *testing.T) {
-	for _, name := range []string{"pagerank", "kmeans", "sparkpi", "tpcds-q5", "tpcds-q16", "tpcds-q94", "tpcds-q95"} {
+	for _, name := range workloadNames {
 		w, err := buildWorkload(name, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -36,7 +37,17 @@ func TestBuildWorkload(t *testing.T) {
 			t.Fatalf("%s built %s", name, w.Name())
 		}
 	}
-	if _, err := buildWorkload("nope", 1); err == nil {
-		t.Fatal("unknown workload accepted")
+	if _, err := buildWorkload("nope", 1); err == nil || !strings.Contains(err.Error(), "accepted:") {
+		t.Fatalf("unknown workload should list accepted names, got %v", err)
+	}
+}
+
+func TestScenarioNamesSortedAndComplete(t *testing.T) {
+	names := scenarioNames()
+	if len(names) != len(scenarioByName) {
+		t.Fatalf("scenarioNames covers %d of %d", len(names), len(scenarioByName))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("scenarioNames not sorted: %v", names)
 	}
 }

@@ -143,10 +143,41 @@ func (r DayResult) String() string {
 }
 
 // SimulateDay runs one day of job arrivals under the given policy and
-// strategy.
+// strategy. It is exactly SimulateDayTrace over the arrivals DayArrivals
+// draws, split so the cluster layer's discrete-event scheduler can replay
+// the identical arrival pattern and be cross-checked against this fluid
+// model (see internal/cluster).
 func SimulateDay(cfg DayConfig) DayResult {
+	return SimulateDayTrace(cfg, DayArrivals(cfg))
+}
+
+// DayArrivals samples the day's job arrival offsets: per sampling
+// interval, a Poisson count sized so the realised demand w(t) is served
+// by JobCores×JobDuration jobs, spread evenly inside the interval. The
+// draw order matches what SimulateDay historically consumed, so a given
+// seed keeps producing the same day.
+func DayArrivals(cfg DayConfig) []time.Duration {
 	series := Diurnal(cfg.Series)
 	rng := simrand.New(cfg.Seed ^ 0xda71)
+	step := cfg.Series.Step
+	jobSec := cfg.JobDuration.Seconds()
+	var out []time.Duration
+	for i := 0; i < series.Len(); i++ {
+		expectedJobs := series.Actual[i] * step.Seconds() / (float64(cfg.JobCores) * jobSec)
+		jobs := poisson(rng, expectedJobs)
+		for j := 0; j < jobs; j++ {
+			out = append(out, time.Duration(i)*step+step*time.Duration(j)/time.Duration(jobs))
+		}
+	}
+	return out
+}
+
+// SimulateDayTrace runs the fluid day model over an explicit arrival
+// trace (offsets from the start of the day). Each arrival is mapped back
+// to its sampling interval to read the provisioned fleet and realised
+// concurrent load there.
+func SimulateDayTrace(cfg DayConfig, arrivals []time.Duration) DayResult {
+	series := Diurnal(cfg.Series)
 	res := DayResult{Strategy: cfg.Strategy, PolicyK: cfg.PolicyK, WorstCase: cfg.StaticWorstCase}
 
 	step := cfg.Series.Step
@@ -159,63 +190,69 @@ func SimulateDay(cfg DayConfig) DayResult {
 			peak = p
 		}
 	}
-	for i := 0; i < series.Len(); i++ {
-		provisioned := series.Provisioned(i, cfg.PolicyK)
+	provisionedAt := func(i int) int {
 		if cfg.StaticWorstCase {
-			provisioned = peak
+			return peak
 		}
-		res.VMBaseUSD += float64(provisioned) * step.Hours() * cfg.VCPUPricePerHour
+		return series.Provisioned(i, cfg.PolicyK)
+	}
+	for i := 0; i < series.Len(); i++ {
+		res.VMBaseUSD += float64(provisionedAt(i)) * step.Hours() * cfg.VCPUPricePerHour
+	}
 
-		// Arrivals this interval: actual demand w(t) in cores, each job
-		// needing JobCores for JobDuration, Poisson-ish via the rng.
-		expectedJobs := series.Actual[i] * step.Seconds() / (float64(cfg.JobCores) * jobSec)
-		jobs := poisson(rng, expectedJobs)
-		for j := 0; j < jobs; j++ {
-			res.Jobs++
-			// Instantaneous concurrent load at this job's arrival: the
-			// series' w(t) is the realised demand (its deviation from m(t)
-			// is exactly the uncertainty the k·σ headroom is sized for).
-			concurrent := series.Actual[i]
-			free := float64(provisioned) - concurrent
-			if free < 0 {
-				free = 0
-			}
-			shortfall := float64(cfg.JobCores) - free
-			if shortfall < 0 {
-				shortfall = 0
-			}
+	for _, at := range arrivals {
+		i := int(at / step)
+		if i < 0 {
+			i = 0
+		}
+		if i >= series.Len() {
+			i = series.Len() - 1
+		}
+		provisioned := provisionedAt(i)
+		res.Jobs++
+		// Instantaneous concurrent load at this job's arrival: the
+		// series' w(t) is the realised demand (its deviation from m(t)
+		// is exactly the uncertainty the k·σ headroom is sized for).
+		concurrent := series.Actual[i]
+		free := float64(provisioned) - concurrent
+		if free < 0 {
+			free = 0
+		}
+		shortfall := float64(cfg.JobCores) - free
+		if shortfall < 0 {
+			shortfall = 0
+		}
 
-			stretch := 1.0
-			switch {
-			case shortfall == 0:
-				// Fully provisioned.
-			case cfg.Strategy == StrategyQueue:
-				// Run on the free cores only (degenerate: at least 1).
-				cores := math.Max(1, free)
-				stretch = float64(cfg.JobCores) / cores
-			case cfg.Strategy == StrategyAutoscale:
-				cores := math.Max(1, free)
-				slowRate := cores / float64(cfg.JobCores)
-				boot := cfg.VMBoot.Seconds()
-				// Work done before the VMs arrive, remainder at full speed.
-				workDone := boot * slowRate
-				if workDone >= jobSec {
-					stretch = (jobSec / slowRate) / jobSec
-				} else {
-					stretch = (boot + (jobSec - workDone)) / jobSec
-				}
-				res.VMAutoscaleUSD += billing.VMCost(
-					cfg.VCPUPricePerHour*shortfall,
-					time.Duration(stretch*jobSec*float64(time.Second)))
-			case cfg.Strategy == StrategyBridge:
-				stretch = cfg.HybridSlowdown
-				lambdaSecs := stretch * jobSec * shortfall
-				res.LambdaUSD += lambdaSecs * cfg.LambdaMemGB * billing.LambdaGBSecondUSD
+		stretch := 1.0
+		switch {
+		case shortfall == 0:
+			// Fully provisioned.
+		case cfg.Strategy == StrategyQueue:
+			// Run on the free cores only (degenerate: at least 1).
+			cores := math.Max(1, free)
+			stretch = float64(cfg.JobCores) / cores
+		case cfg.Strategy == StrategyAutoscale:
+			cores := math.Max(1, free)
+			slowRate := cores / float64(cfg.JobCores)
+			boot := cfg.VMBoot.Seconds()
+			// Work done before the VMs arrive, remainder at full speed.
+			workDone := boot * slowRate
+			if workDone >= jobSec {
+				stretch = (jobSec / slowRate) / jobSec
+			} else {
+				stretch = (boot + (jobSec - workDone)) / jobSec
 			}
-			stretches = append(stretches, stretch)
-			if stretch > cfg.SLOFactor {
-				res.SLOViolations++
-			}
+			res.VMAutoscaleUSD += billing.VMCost(
+				cfg.VCPUPricePerHour*shortfall,
+				time.Duration(stretch*jobSec*float64(time.Second)))
+		case cfg.Strategy == StrategyBridge:
+			stretch = cfg.HybridSlowdown
+			lambdaSecs := stretch * jobSec * shortfall
+			res.LambdaUSD += lambdaSecs * cfg.LambdaMemGB * billing.LambdaGBSecondUSD
+		}
+		stretches = append(stretches, stretch)
+		if stretch > cfg.SLOFactor {
+			res.SLOViolations++
 		}
 	}
 

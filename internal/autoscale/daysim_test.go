@@ -148,3 +148,29 @@ func TestQuantile(t *testing.T) {
 
 // newTestRNG gives tests a deterministic generator.
 func newTestRNG() *simrand.RNG { return simrand.New(99) }
+
+// TestDayArrivalsSplitEquivalence pins the refactor contract: SimulateDay
+// must equal SimulateDayTrace over the arrivals DayArrivals draws — the
+// split the cluster layer relies on to replay the identical day through
+// its discrete-event scheduler.
+func TestDayArrivalsSplitEquivalence(t *testing.T) {
+	for _, strategy := range []Strategy{StrategyQueue, StrategyAutoscale, StrategyBridge} {
+		cfg := DefaultDayConfig(strategy, 1)
+		cfg.Seed = 77
+		direct := SimulateDay(cfg)
+		arrivals := DayArrivals(cfg)
+		replayed := SimulateDayTrace(cfg, arrivals)
+		if direct != replayed {
+			t.Errorf("%s: SimulateDay %+v != SimulateDayTrace(DayArrivals) %+v",
+				strategy, direct, replayed)
+		}
+		if len(arrivals) != direct.Jobs {
+			t.Errorf("%s: %d arrivals but %d jobs simulated", strategy, len(arrivals), direct.Jobs)
+		}
+		for i := 1; i < len(arrivals); i++ {
+			if arrivals[i] < arrivals[i-1] {
+				t.Fatalf("%s: arrivals not sorted at %d: %v < %v", strategy, i, arrivals[i], arrivals[i-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package cloud
+
+import (
+	"splitserve/internal/telemetry"
+)
+
+// CorePool arbitrates the cores of a shared VM fleet across concurrent
+// jobs — the system-wide "r" of the paper's launching facility (Section
+// 4.1): when a job needs R cores, the pool hands out however many are
+// free and the caller bridges the shortfall Δ = R − r with Lambdas.
+//
+// The pool tracks cores, not executors: a CoreLease is the right to run
+// one executor on one core of one VM. Leases are granted VM-by-VM in the
+// order instances were added, so allocation is deterministic and tends to
+// pack jobs onto few instances (which keeps shuffle traffic local).
+type CorePool struct {
+	vms []*pooledVM
+
+	coresTotal *telemetry.Gauge
+	coresInUse *telemetry.Gauge
+}
+
+type pooledVM struct {
+	vm   *VM
+	used int
+}
+
+// CoreLease is a claim on one core of one pool VM. Release returns the
+// core; releasing twice is a no-op.
+type CoreLease struct {
+	pool     *CorePool
+	entry    *pooledVM
+	owner    string
+	released bool
+}
+
+// VM returns the instance hosting the leased core.
+func (l *CoreLease) VM() *VM { return l.entry.vm }
+
+// Owner returns the identifier the core was acquired under.
+func (l *CoreLease) Owner() string { return l.owner }
+
+// Release returns the core to the pool (idempotent).
+func (l *CoreLease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	l.entry.used--
+	l.pool.coresInUse.Dec()
+}
+
+// NewCorePool returns a pool over the given ready instances.
+func NewCorePool(vms ...*VM) *CorePool {
+	p := &CorePool{}
+	for _, vm := range vms {
+		p.AddVM(vm)
+	}
+	return p
+}
+
+// SetTelemetry mirrors pool occupancy into vmpool_cores and
+// vmpool_cores_in_use gauges on hub.
+func (p *CorePool) SetTelemetry(h *telemetry.Hub) {
+	p.coresTotal = h.Gauge("vmpool_cores")
+	p.coresInUse = h.Gauge("vmpool_cores_in_use")
+	p.coresTotal.Set(float64(p.Capacity()))
+	p.coresInUse.Set(float64(p.InUse()))
+}
+
+// AddVM grows the pool with a (ready) instance — pre-provisioned fleet at
+// start, or autoscale procurements as they boot.
+func (p *CorePool) AddVM(vm *VM) {
+	p.vms = append(p.vms, &pooledVM{vm: vm})
+	p.coresTotal.Add(float64(vm.Type.VCPUs))
+}
+
+// VMs returns the pooled instances in the order they were added.
+func (p *CorePool) VMs() []*VM {
+	out := make([]*VM, 0, len(p.vms))
+	for _, e := range p.vms {
+		out = append(out, e.vm)
+	}
+	return out
+}
+
+// Capacity is the total core count across ready pool instances.
+func (p *CorePool) Capacity() int {
+	total := 0
+	for _, e := range p.vms {
+		if e.vm.State == VMReady {
+			total += e.vm.Type.VCPUs
+		}
+	}
+	return total
+}
+
+// InUse is how many cores are currently leased.
+func (p *CorePool) InUse() int {
+	used := 0
+	for _, e := range p.vms {
+		used += e.used
+	}
+	return used
+}
+
+// Free is how many cores a caller could acquire right now.
+func (p *CorePool) Free() int { return p.Capacity() - p.InUse() }
+
+// Acquire leases up to n cores for owner, fewest-index VMs first. It
+// returns what is available — possibly fewer than n, possibly none.
+func (p *CorePool) Acquire(owner string, n int) []*CoreLease {
+	if n <= 0 {
+		return nil
+	}
+	var out []*CoreLease
+	for _, e := range p.vms {
+		if e.vm.State != VMReady {
+			continue
+		}
+		for e.used < e.vm.Type.VCPUs && len(out) < n {
+			e.used++
+			p.coresInUse.Inc()
+			out = append(out, &CoreLease{pool: p, entry: e, owner: owner})
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

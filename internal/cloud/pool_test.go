@@ -1,0 +1,74 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"splitserve/internal/netsim"
+	"splitserve/internal/simclock"
+	"splitserve/internal/simrand"
+)
+
+func poolFixture(t *testing.T, types ...VMType) (*Provider, *CorePool) {
+	t.Helper()
+	clock := simclock.New(simclock.Epoch)
+	net := netsim.New(clock)
+	p := NewProvider(clock, net, simrand.New(1), DefaultOptions())
+	pool := NewCorePool()
+	for _, vt := range types {
+		pool.AddVM(p.ProvisionReadyVM(vt))
+	}
+	return p, pool
+}
+
+func TestCorePoolAcquireRelease(t *testing.T) {
+	_, pool := poolFixture(t, M4XLarge, M4Large) // 4 + 2 cores
+	if got := pool.Capacity(); got != 6 {
+		t.Fatalf("capacity = %d, want 6", got)
+	}
+	leases := pool.Acquire("job-a", 5)
+	if len(leases) != 5 {
+		t.Fatalf("acquired %d cores, want 5", len(leases))
+	}
+	// Deterministic fill order: the first VM's cores go first.
+	for i := 0; i < 4; i++ {
+		if leases[i].VM() != pool.VMs()[0] {
+			t.Fatalf("lease %d on %s, want first pool VM", i, leases[i].VM().ID)
+		}
+	}
+	if leases[4].VM() != pool.VMs()[1] {
+		t.Fatalf("overflow lease on %s, want second pool VM", leases[4].VM().ID)
+	}
+	if got := pool.Free(); got != 1 {
+		t.Fatalf("free = %d, want 1", got)
+	}
+	if extra := pool.Acquire("job-b", 3); len(extra) != 1 {
+		t.Fatalf("over-subscribed acquire returned %d cores, want 1", len(extra))
+	}
+	leases[0].Release()
+	leases[0].Release() // idempotent
+	if got := pool.Free(); got != 1 {
+		t.Fatalf("free after release = %d, want 1", got)
+	}
+}
+
+func TestCorePoolIgnoresPendingAndTerminatedVMs(t *testing.T) {
+	p, pool := poolFixture(t, M4Large)
+	pending := p.RequestVM(M4XLarge, 30*time.Second, nil)
+	pool.AddVM(pending)
+	if got := pool.Capacity(); got != 2 {
+		t.Fatalf("capacity with pending VM = %d, want 2", got)
+	}
+	if got := len(pool.Acquire("job", 8)); got != 2 {
+		t.Fatalf("acquired %d cores, want only the ready VM's 2", got)
+	}
+	for p.Clock().Step() {
+	}
+	if got := pool.Capacity(); got != 6 {
+		t.Fatalf("capacity after boot = %d, want 6", got)
+	}
+	p.TerminateVM(pending)
+	if got := pool.Capacity(); got != 2 {
+		t.Fatalf("capacity after terminate = %d, want 2", got)
+	}
+}

@@ -1,0 +1,656 @@
+// Package cluster is the multi-job layer above the intra-job engine: a
+// scheduler admits a stream of real task-graph jobs (the existing
+// workloads) against one shared VM core pool, with pluggable sharing
+// policies (FIFO, max-min fair), per-job SLO deadlines, and the paper's
+// three shortfall strategies — queue on what's free, autoscale more VMs,
+// or bridge the gap with Lambdas (SplitServe). It is the discrete-event
+// counterpart of internal/autoscale's fluid day simulation: the same
+// arrival trace can be replayed through both and cross-checked.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"splitserve/internal/autoscale"
+	"splitserve/internal/billing"
+	"splitserve/internal/cloud"
+	"splitserve/internal/hdfs"
+	"splitserve/internal/metrics"
+	"splitserve/internal/netsim"
+	"splitserve/internal/simclock"
+	"splitserve/internal/simrand"
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/telemetry"
+	"splitserve/internal/workloads"
+)
+
+// Stage/task overheads, matching the calibrated experiment defaults so a
+// job run under the cluster scheduler costs the same as in
+// internal/experiments. (Copied, not imported: experiments sits above
+// this package.)
+const (
+	stageOverhead = 1400 * time.Millisecond
+	dispatchCost  = 4 * time.Millisecond
+)
+
+// Strategy re-exports the shortfall strategies shared with the fluid day
+// model, so both layers speak the same vocabulary.
+type Strategy = autoscale.Strategy
+
+// Strategies.
+const (
+	StrategyQueue     = autoscale.StrategyQueue
+	StrategyAutoscale = autoscale.StrategyAutoscale
+	StrategyBridge    = autoscale.StrategyBridge
+)
+
+// StrategyByName resolves "queue", "autoscale" or "bridge".
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "queue":
+		return StrategyQueue, nil
+	case "autoscale":
+		return StrategyAutoscale, nil
+	case "bridge":
+		return StrategyBridge, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown strategy %q (want queue, autoscale or bridge)", name)
+	}
+}
+
+// JobSpec is one job submitted to the cluster.
+type JobSpec struct {
+	// Name labels the job in reports (defaults to the workload name).
+	Name string
+	// Workload must be a fresh instance — the scheduler runs it once.
+	Workload workloads.Workload
+	// Cores is the job's full-provisioning demand R.
+	Cores int
+	// Arrival is the submission offset from the start of the run.
+	Arrival time.Duration
+	// Baseline is the job's execution time at full provisioning (see
+	// Baseline); the SLO deadline is SLOFactor × Baseline and stretch is
+	// measured against it.
+	Baseline time.Duration
+}
+
+// Config assembles a Scheduler.
+type Config struct {
+	Jobs []JobSpec
+	// PoolCores sizes the shared VM pool; PoolVMType is the instance type
+	// it is built from (and that autoscaling procures).
+	PoolCores  int
+	PoolVMType cloud.VMType
+	// Policy divides pool cores among active jobs (FIFO or FairShare).
+	Policy Policy
+	// Strategy is the response to a job's core shortfall.
+	Strategy Strategy
+	// SLOFactor: a job violates its SLO when it finishes later than
+	// arrival + SLOFactor × Baseline.
+	SLOFactor float64
+	// LambdaMemoryMB sizes bridged Lambda executors (default 1536).
+	LambdaMemoryMB int
+	// VMBootOverride pins the boot delay of autoscale-procured VMs
+	// (0 = sample the provider's distribution).
+	VMBootOverride time.Duration
+	Seed           uint64
+	// MaxSimTime bounds the whole run (default 48h).
+	MaxSimTime time.Duration
+}
+
+type jobPhase int
+
+const (
+	jobQueued jobPhase = iota + 1
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+// coroutine is one job's workload goroutine. Exactly one goroutine — the
+// scheduler's Run loop or one coroutine — executes at a time; control is
+// handed off synchronously through the two unbuffered channels, so runs
+// stay deterministic (and race-free: every handoff is a happens-before
+// edge).
+type coroutine struct {
+	// resume wakes the parked workload; false aborts it as stalled.
+	resume chan bool
+	// parked signals the scheduler that the workload either blocked in
+	// engine.RunJob (ready reports whether it can continue) or finished.
+	parked   chan struct{}
+	ready    func() bool
+	finished bool
+}
+
+type job struct {
+	spec       JobSpec
+	id         int
+	appID      string
+	execPrefix string
+
+	phase      jobPhase
+	arrivalAt  time.Time
+	admittedAt time.Time
+	finishedAt time.Time
+
+	// target is the job's current policy entitlement, refreshed each
+	// scheduling pass.
+	target int
+
+	backend *jobBackend
+	cluster *engine.Cluster
+	co      *coroutine
+	log     *metrics.Log
+	lambdas []*cloud.Lambda
+	meter   billing.Meter
+
+	report *workloads.Report
+	err    error
+
+	jobSpan   *telemetry.Span
+	queueSpan *telemetry.Span
+}
+
+func (j *job) active() bool { return j.phase == jobQueued || j.phase == jobRunning }
+
+// allowance is the job's SLO deadline duration.
+func (j *job) allowance(factor float64) time.Duration {
+	return time.Duration(factor * float64(j.spec.Baseline))
+}
+
+// clusterInstruments are the scheduler's telemetry handles.
+type clusterInstruments struct {
+	jobsArrived   *telemetry.Counter
+	jobsCompleted *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	sloViolations *telemetry.Counter
+	segueGrants   *telemetry.Counter
+	jobsQueued    *telemetry.Gauge
+	jobsRunning   *telemetry.Gauge
+	queueWait     *telemetry.Histogram
+	stretch       *telemetry.Histogram
+}
+
+func newClusterInstruments(h *telemetry.Hub) *clusterInstruments {
+	return &clusterInstruments{
+		jobsArrived:   h.Counter("cluster_jobs_arrived_total"),
+		jobsCompleted: h.Counter("cluster_jobs_completed_total"),
+		jobsFailed:    h.Counter("cluster_jobs_failed_total"),
+		sloViolations: h.Counter("cluster_slo_violations_total"),
+		segueGrants:   h.Counter("cluster_segue_core_grants_total"),
+		jobsQueued:    h.Gauge("cluster_jobs_queued"),
+		jobsRunning:   h.Gauge("cluster_jobs_running"),
+		queueWait:     h.Histogram("cluster_queue_wait_seconds", nil),
+		stretch:       h.Histogram("cluster_job_stretch", []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10, 20}),
+	}
+}
+
+// Scheduler runs a multi-job day against one shared pool. Build with New,
+// drive with Run (once).
+type Scheduler struct {
+	cfg  Config
+	jobs []*job
+
+	clock    *simclock.Clock
+	net      *netsim.Network
+	hub      *telemetry.Hub
+	provider *cloud.Provider
+	fs       *hdfs.Cluster
+	pool     *cloud.CorePool
+	insts    *clusterInstruments
+
+	baseVMs  []*cloud.VM
+	procured []*cloud.VM
+	// parkedJobs are running jobs whose workload goroutine is blocked in
+	// engine.RunJob waiting for its engine job to complete.
+	parkedJobs []*job
+	// pendingProcureCores tracks autoscale requests in flight so one
+	// shortfall doesn't procure twice.
+	pendingProcureCores int
+
+	kicked bool
+	ran    bool
+}
+
+// New validates cfg and assembles the shared simulation: clock, network,
+// provider, an HDFS namenode on a master VM, and the core pool.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("cluster: no jobs")
+	}
+	if cfg.PoolCores < 1 {
+		return nil, errors.New("cluster: PoolCores must be >= 1")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FairShare()
+	}
+	if cfg.Strategy == 0 {
+		cfg.Strategy = StrategyBridge
+	}
+	if cfg.SLOFactor == 0 {
+		cfg.SLOFactor = 1.5
+	}
+	if cfg.LambdaMemoryMB == 0 {
+		cfg.LambdaMemoryMB = 1536
+	}
+	if cfg.PoolVMType.VCPUs == 0 {
+		cfg.PoolVMType = cloud.M4XLarge
+	}
+	if cfg.MaxSimTime == 0 {
+		cfg.MaxSimTime = 48 * time.Hour
+	}
+	for i, spec := range cfg.Jobs {
+		if spec.Workload == nil {
+			return nil, fmt.Errorf("cluster: job %d has no workload", i)
+		}
+		if spec.Cores < 1 {
+			return nil, fmt.Errorf("cluster: job %d demands %d cores", i, spec.Cores)
+		}
+		if spec.Baseline <= 0 {
+			return nil, fmt.Errorf("cluster: job %d has no baseline (run Baseline first)", i)
+		}
+	}
+
+	clock := simclock.New(simclock.Epoch)
+	net := netsim.New(clock)
+	hub := telemetry.New(clock)
+	provider := cloud.NewProvider(clock, net, simrand.New(cfg.Seed+1), cloud.DefaultOptions())
+	provider.SetTelemetry(hub)
+
+	// The master hosts the namenode and datanode; pool VMs run executors.
+	master := provider.ProvisionReadyVM(cloud.M4XLarge)
+	fs := hdfs.NewCluster(clock, net, hdfs.DefaultOptions())
+	fs.SetTelemetry(hub)
+	fs.AddDataNode("dn-"+master.ID, []*netsim.Pool{master.EBS})
+
+	pool := cloud.NewCorePool()
+	pool.SetTelemetry(hub)
+	var baseVMs []*cloud.VM
+	for pool.Capacity() < cfg.PoolCores {
+		vm := provider.ProvisionReadyVM(cfg.PoolVMType)
+		pool.AddVM(vm)
+		baseVMs = append(baseVMs, vm)
+	}
+
+	s := &Scheduler{
+		cfg: cfg, clock: clock, net: net, hub: hub,
+		provider: provider, fs: fs, pool: pool,
+		insts: newClusterInstruments(hub), baseVMs: baseVMs,
+	}
+	for i, spec := range cfg.Jobs {
+		if spec.Name == "" {
+			spec.Name = spec.Workload.Name()
+		}
+		j := &job{spec: spec, id: i, appID: fmt.Sprintf("j%03d-%s", i, spec.Name),
+			execPrefix: fmt.Sprintf("j%03d", i)}
+		j.meter.SetTelemetry(hub)
+		s.jobs = append(s.jobs, j)
+	}
+	return s, nil
+}
+
+// Telemetry exposes the shared hub (for prom export).
+func (s *Scheduler) Telemetry() *telemetry.Hub { return s.hub }
+
+// Clock exposes the shared virtual clock.
+func (s *Scheduler) Clock() *simclock.Clock { return s.clock }
+
+// Run plays the whole job stream to completion and reports. It may be
+// called once.
+func (s *Scheduler) Run() (*Report, error) {
+	if s.ran {
+		return nil, errors.New("cluster: Run may only be called once")
+	}
+	s.ran = true
+	for _, j := range s.jobs {
+		j := j
+		s.clock.At(simclock.Epoch.Add(j.spec.Arrival), func() { s.onArrival(j) })
+	}
+	deadline := simclock.Epoch.Add(s.cfg.MaxSimTime)
+	for !s.allSettled() && s.clock.Now().Before(deadline) {
+		if !s.clock.Step() {
+			break
+		}
+		s.pump()
+	}
+	// Whatever is still parked is stalled (or past the deadline): abort
+	// the workload goroutines so they return and release their resources.
+	for len(s.parkedJobs) > 0 {
+		j := s.parkedJobs[0]
+		s.parkedJobs = s.parkedJobs[1:]
+		j.co.resume <- false
+		s.awaitPark(j)
+	}
+	for _, j := range s.jobs {
+		if j.active() {
+			j.phase = jobFailed
+			j.finishedAt = s.clock.Now()
+			j.err = fmt.Errorf("cluster: job %s never completed (queued or stalled)", j.appID)
+			s.insts.jobsFailed.Inc()
+		}
+	}
+	s.updateGauges()
+	return s.buildReport(), nil
+}
+
+func (s *Scheduler) allSettled() bool {
+	for _, j := range s.jobs {
+		if j.phase != jobDone && j.phase != jobFailed {
+			return false
+		}
+	}
+	return true
+}
+
+// kick coalesces any number of state changes into one scheduling pass at
+// the current instant.
+func (s *Scheduler) kick() {
+	if s.kicked {
+		return
+	}
+	s.kicked = true
+	s.clock.After(0, func() {
+		s.kicked = false
+		s.schedule()
+	})
+}
+
+func (s *Scheduler) onCoresFreed() { s.kick() }
+
+func (s *Scheduler) onArrival(j *job) {
+	j.phase = jobQueued
+	j.arrivalAt = s.clock.Now()
+	j.jobSpan = s.hub.Tracer().StartSpan("cluster", "job",
+		telemetry.L("app", j.appID), telemetry.L("name", j.spec.Name))
+	j.queueSpan = s.hub.Tracer().StartSpan("cluster", "queue_wait",
+		telemetry.L("app", j.appID))
+	s.insts.jobsArrived.Inc()
+	s.kick()
+}
+
+// schedule is the single scheduling pass: policy targets, reclaims,
+// admissions, core grants (segue-first), and autoscale procurement.
+func (s *Scheduler) schedule() {
+	var active []*job
+	for _, j := range s.jobs {
+		if j.active() {
+			active = append(active, j)
+		}
+	}
+	s.updateGauges()
+	if len(active) == 0 {
+		return
+	}
+
+	demands := make([]int, len(active))
+	for i, j := range active {
+		demands[i] = j.spec.Cores
+	}
+	targets := s.cfg.Policy.Targets(s.pool.Capacity(), demands)
+	for i, j := range active {
+		j.target = targets[i]
+	}
+
+	// Reclaim from running jobs holding more than their entitlement.
+	for _, j := range active {
+		if j.phase != jobRunning {
+			continue
+		}
+		if excess := j.backend.vmEffective() - j.target; excess > 0 {
+			j.backend.reclaim(excess)
+		}
+	}
+
+	// Admit queued jobs whose entitlement reached one core. Bridge admits
+	// unconditionally: the launching facility covers any shortfall with
+	// Δ = R − r Lambdas, so there is nothing to queue for.
+	for _, j := range active {
+		if j.phase == jobQueued && (j.target >= 1 || s.cfg.Strategy == StrategyBridge) {
+			s.admit(j)
+		}
+	}
+
+	// Grant free cores. Lambda-heavy jobs come first, longest-running
+	// first — the cross-job segue: a freed VM core is worth most to the
+	// job that has been paying the Lambda premium the longest.
+	var segueFirst, rest []*job
+	for _, j := range active {
+		if j.phase == jobRunning && j.backend.lambdaLive > 0 {
+			segueFirst = append(segueFirst, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	sort.SliceStable(segueFirst, func(a, b int) bool {
+		return segueFirst[a].admittedAt.Before(segueFirst[b].admittedAt)
+	})
+	for _, j := range append(segueFirst, rest...) {
+		if j.phase != jobRunning {
+			continue
+		}
+		want := j.target - j.backend.vmEffective()
+		if want <= 0 {
+			continue
+		}
+		leases := s.pool.Acquire(j.appID, want)
+		if len(leases) == 0 {
+			continue
+		}
+		if j.backend.lambdaLive > 0 {
+			s.insts.segueGrants.Add(float64(len(leases)))
+		}
+		j.backend.addLeases(leases)
+	}
+
+	// Autoscale: procure VMs for the unmet demand, minus what is already
+	// free or booting. Procured VMs join the pool permanently (unlike the
+	// fluid model, which prices them per job — see DESIGN.md).
+	if s.cfg.Strategy == StrategyAutoscale {
+		unmet := 0
+		for _, j := range active {
+			held := 0
+			if j.phase == jobRunning {
+				held = j.backend.coresHeld()
+			}
+			if d := j.spec.Cores - held; d > 0 {
+				unmet += d
+			}
+		}
+		unmet -= s.pool.Free() + s.pendingProcureCores
+		for unmet > 0 {
+			t := s.cfg.PoolVMType
+			s.pendingProcureCores += t.VCPUs
+			unmet -= t.VCPUs
+			s.provider.RequestVM(t, s.cfg.VMBootOverride, func(vm *cloud.VM) {
+				s.pendingProcureCores -= vm.Type.VCPUs
+				s.pool.AddVM(vm)
+				s.procured = append(s.procured, vm)
+				s.kick()
+			})
+		}
+	}
+}
+
+func (s *Scheduler) updateGauges() {
+	queued, running := 0, 0
+	for _, j := range s.jobs {
+		switch j.phase {
+		case jobQueued:
+			queued++
+		case jobRunning:
+			running++
+		}
+	}
+	s.insts.jobsQueued.Set(float64(queued))
+	s.insts.jobsRunning.Set(float64(running))
+}
+
+func (s *Scheduler) admit(j *job) {
+	j.phase = jobRunning
+	j.admittedAt = s.clock.Now()
+	j.queueSpan.End()
+	s.insts.queueWait.ObserveDuration(s.clock.Since(j.arrivalAt))
+
+	lg := metrics.NewWithTelemetry(s.clock.Now(), s.hub)
+	lg.SetApp(j.appID)
+	j.backend = newJobBackend(s, j)
+	co := &coroutine{resume: make(chan bool), parked: make(chan struct{})}
+	j.co = co
+	c, err := engine.New(engine.Config{
+		AppID:               j.appID,
+		Clock:               s.clock,
+		Net:                 s.net,
+		Provider:            s.provider,
+		Store:               s.fs.Store(),
+		Backend:             j.backend,
+		Log:                 lg,
+		Alloc:               engine.DefaultAllocConfig(engine.AllocStatic, j.spec.Cores, j.spec.Cores),
+		SLO:                 j.allowance(s.cfg.SLOFactor),
+		StageLaunchOverhead: stageOverhead,
+		TaskDispatchCost:    dispatchCost,
+		MaxSimTime:          s.cfg.MaxSimTime,
+		Yield: func(ready func() bool) bool {
+			co.ready = ready
+			co.parked <- struct{}{}
+			return <-co.resume
+		},
+	})
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	j.cluster = c
+	j.log = lg
+	s.clock.After(0, func() { s.runJob(j) })
+}
+
+// runJob starts the job's workload on its own goroutine and blocks until
+// it parks in engine.RunJob (or finishes outright). From here on the
+// workload only executes between awaitPark/pump handoffs, so its real
+// completion instants are observed at the event that caused them rather
+// than at call-stack unwind.
+func (s *Scheduler) runJob(j *job) {
+	go func() {
+		rep, err := j.spec.Workload.Run(j.cluster)
+		j.backend.shutdown()
+		s.finish(j, rep, err)
+		j.co.finished = true
+		j.co.parked <- struct{}{}
+	}()
+	s.awaitPark(j)
+}
+
+// awaitPark blocks the scheduling goroutine until j's workload either
+// parks (recorded for pump) or finishes.
+func (s *Scheduler) awaitPark(j *job) {
+	<-j.co.parked
+	if !j.co.finished {
+		s.parkedJobs = append(s.parkedJobs, j)
+	}
+}
+
+// pump resumes every parked workload whose engine job has completed,
+// repeating until no more progress is possible (a resumed workload can
+// finish, unblocking cores that complete another job at the same
+// instant).
+func (s *Scheduler) pump() {
+	for {
+		progressed := false
+		for i := 0; i < len(s.parkedJobs); i++ {
+			j := s.parkedJobs[i]
+			if j.co.ready == nil || !j.co.ready() {
+				continue
+			}
+			s.parkedJobs = append(s.parkedJobs[:i], s.parkedJobs[i+1:]...)
+			i--
+			j.co.resume <- true
+			s.awaitPark(j)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (s *Scheduler) finish(j *job, rep *workloads.Report, err error) {
+	now := s.clock.Now()
+	j.finishedAt = now
+	j.report = rep
+	j.err = err
+	if j.jobSpan != nil {
+		j.jobSpan.End()
+	}
+	if err != nil {
+		j.phase = jobFailed
+		s.insts.jobsFailed.Inc()
+	} else {
+		j.phase = jobDone
+		s.insts.jobsCompleted.Inc()
+		stretch := float64(now.Sub(j.arrivalAt)) / float64(j.spec.Baseline)
+		s.insts.stretch.Observe(stretch)
+		if now.Sub(j.arrivalAt) > j.allowance(s.cfg.SLOFactor) {
+			s.insts.sloViolations.Inc()
+		}
+	}
+	// Bill the job: each VM executor is one core of its host for its
+	// registered lifetime; each Lambda for its billed duration.
+	if j.cluster != nil {
+		for _, e := range j.cluster.AllExecutors() {
+			if e.Kind != engine.ExecVM || e.VM == nil {
+				continue
+			}
+			end := e.RemovedAt
+			if e.State != engine.ExecDead {
+				end = now
+			}
+			j.meter.AddVM(e.HostID, e.VM.Type.PricePerHour, e.VM.Type.VCPUs, 1, end.Sub(e.RegisteredAt))
+		}
+	}
+	for _, l := range j.lambdas {
+		j.meter.AddLambda(l.ID, s.cfg.LambdaMemoryMB, l.BilledDuration(now))
+	}
+	s.kick()
+}
+
+// Baseline measures w's execution time on a dedicated fully provisioned
+// cluster of the given size — the denominator of the job's stretch and
+// the base of its SLO deadline. The run uses its own simulation; the
+// caller's clock never moves.
+func Baseline(w workloads.Workload, cores int, seed uint64) (time.Duration, error) {
+	clock := simclock.New(simclock.Epoch)
+	net := netsim.New(clock)
+	provider := cloud.NewProvider(clock, net, simrand.New(seed+1), cloud.DefaultOptions())
+
+	master := provider.ProvisionReadyVM(cloud.M4XLarge)
+	fs := hdfs.NewCluster(clock, net, hdfs.DefaultOptions())
+	fs.AddDataNode("dn-"+master.ID, []*netsim.Pool{master.EBS})
+
+	t, _ := cloud.SmallestFor(cores)
+	var vms []*cloud.VM
+	for got := 0; got < cores; got += t.VCPUs {
+		vms = append(vms, provider.ProvisionReadyVM(t))
+	}
+	c, err := engine.New(engine.Config{
+		AppID:               "baseline-" + w.Name(),
+		Clock:               clock,
+		Net:                 net,
+		Provider:            provider,
+		Store:               fs.Store(),
+		Backend:             engine.NewStandalone(engine.StandaloneConfig{VMs: vms, UsableCores: cores}),
+		Alloc:               engine.DefaultAllocConfig(engine.AllocStatic, cores, cores),
+		StageLaunchOverhead: stageOverhead,
+		TaskDispatchCost:    dispatchCost,
+	})
+	if err != nil {
+		return 0, err
+	}
+	rep, err := w.Run(c)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Elapsed, nil
+}

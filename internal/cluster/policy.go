@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy decides how many shared-pool cores each active job is entitled
+// to. Targets sees the demands of every queued or running job in arrival
+// order and returns the aligned per-job core entitlements; the scheduler
+// admits a queued job once its entitlement reaches one core, grants free
+// cores up to the entitlement, and (for policies that shrink a running
+// job's entitlement) reclaims the excess by draining executors.
+type Policy interface {
+	Name() string
+	Targets(capacity int, demands []int) []int
+}
+
+// PolicyByName resolves "fifo" or "fair".
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return FIFO(), nil
+	case "fair":
+		return FairShare(), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q (want fifo or fair)", name)
+	}
+}
+
+// FIFO grants each job its full demand in arrival order until the pool is
+// exhausted — the head of the queue can starve everything behind it, the
+// baseline the paper's shared-cluster motivation argues against.
+func FIFO() Policy { return fifoPolicy{} }
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return "fifo" }
+
+func (fifoPolicy) Targets(capacity int, demands []int) []int {
+	out := make([]int, len(demands))
+	for i, d := range demands {
+		give := d
+		if give > capacity {
+			give = capacity
+		}
+		out[i] = give
+		capacity -= give
+	}
+	return out
+}
+
+// FairShare is integer max-min fairness over cores: capacity is
+// water-filled one core at a time round-robin across jobs still below
+// their demand, so no job can hold more than its fair share while another
+// is starved. Remainder cores go to earlier arrivals, keeping the split
+// deterministic.
+func FairShare() Policy { return fairPolicy{} }
+
+type fairPolicy struct{}
+
+func (fairPolicy) Name() string { return "fair" }
+
+func (fairPolicy) Targets(capacity int, demands []int) []int {
+	out := make([]int, len(demands))
+	for capacity > 0 {
+		progress := false
+		for i, d := range demands {
+			if capacity == 0 {
+				break
+			}
+			if out[i] < d {
+				out[i]++
+				capacity--
+				progress = true
+			}
+		}
+		if !progress {
+			break // every demand is met
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"splitserve/internal/billing"
+	"splitserve/internal/simclock"
+	"splitserve/internal/spark/engine"
+)
+
+// JobReport is one job's outcome. Durations are microseconds so the JSON
+// is integer-exact and byte-stable across runs with the same seed.
+type JobReport struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Workload string `json:"workload,omitempty"`
+	Cores    int    `json:"cores"`
+
+	ArrivalUS   int64 `json:"arrival_us"`
+	StartUS     int64 `json:"start_us"`
+	EndUS       int64 `json:"end_us"`
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	RunUS       int64 `json:"run_us"`
+	DeadlineUS  int64 `json:"deadline_us"`
+
+	Stretch     float64 `json:"stretch"`
+	SLOViolated bool    `json:"slo_violated"`
+
+	VMExecutors     int `json:"vm_executors"`
+	LambdaExecutors int `json:"lambda_executors"`
+	VMTasks         int `json:"vm_tasks"`
+	LambdaTasks     int `json:"lambda_tasks"`
+
+	CostUSD       float64 `json:"cost_usd"`
+	CostVMUSD     float64 `json:"cost_vm_usd"`
+	CostLambdaUSD float64 `json:"cost_lambda_usd"`
+
+	Failed string `json:"failed,omitempty"`
+}
+
+// Report is a whole cluster run.
+type Report struct {
+	Policy    string `json:"policy"`
+	Strategy  string `json:"strategy"`
+	Seed      uint64 `json:"seed"`
+	PoolCores int    `json:"pool_cores"`
+
+	Jobs          int `json:"jobs"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed"`
+	SLOViolations int `json:"slo_violations"`
+
+	MakespanUS      int64 `json:"makespan_us"`
+	QueueWaitMeanUS int64 `json:"queue_wait_mean_us"`
+	QueueWaitP50US  int64 `json:"queue_wait_p50_us"`
+	QueueWaitP99US  int64 `json:"queue_wait_p99_us"`
+
+	MeanStretch float64 `json:"mean_stretch"`
+	P99Stretch  float64 `json:"p99_stretch"`
+
+	// CoreUtilization is VM-executor busy time over pool core-time;
+	// LambdaShare is the Lambda fraction of all busy time.
+	CoreUtilization float64 `json:"core_utilization"`
+	LambdaShare     float64 `json:"lambda_share"`
+
+	VMBaseUSD      float64 `json:"vm_base_usd"`
+	VMAutoscaleUSD float64 `json:"vm_autoscale_usd"`
+	LambdaUSD      float64 `json:"lambda_usd"`
+	TotalUSD       float64 `json:"total_usd"`
+
+	JobReports []JobReport `json:"job_reports"`
+}
+
+func us(d time.Duration) int64 { return d.Microseconds() }
+
+func (s *Scheduler) buildReport() *Report {
+	r := &Report{
+		Policy:    s.cfg.Policy.Name(),
+		Strategy:  s.cfg.Strategy.String(),
+		Seed:      s.cfg.Seed,
+		PoolCores: s.cfg.PoolCores,
+		Jobs:      len(s.jobs),
+	}
+	end := simclock.Epoch
+	var waits []time.Duration
+	var stretches []float64
+	var vmBusy, lambdaBusy time.Duration
+
+	for _, j := range s.jobs {
+		jr := JobReport{
+			ID:        j.id,
+			Name:      j.spec.Name,
+			Cores:     j.spec.Cores,
+			ArrivalUS: us(j.arrivalAt.Sub(simclock.Epoch)),
+		}
+		if j.report != nil {
+			jr.Workload = j.report.Workload
+		}
+		deadline := j.allowance(s.cfg.SLOFactor)
+		jr.DeadlineUS = us(deadline)
+		if !j.admittedAt.IsZero() {
+			jr.StartUS = us(j.admittedAt.Sub(simclock.Epoch))
+			jr.QueueWaitUS = us(j.admittedAt.Sub(j.arrivalAt))
+		}
+		if !j.finishedAt.IsZero() {
+			jr.EndUS = us(j.finishedAt.Sub(simclock.Epoch))
+			if !j.admittedAt.IsZero() {
+				jr.RunUS = us(j.finishedAt.Sub(j.admittedAt))
+			}
+			if j.finishedAt.After(end) {
+				end = j.finishedAt
+			}
+		}
+		if j.cluster != nil {
+			wd := j.cluster.WorkDistribution()
+			vm, la := wd[engine.ExecVM], wd[engine.ExecLambda]
+			jr.VMExecutors, jr.VMTasks = vm.Executors, vm.Tasks
+			jr.LambdaExecutors, jr.LambdaTasks = la.Executors, la.Tasks
+			vmBusy += vm.Busy
+			lambdaBusy += la.Busy
+		}
+		byKind := j.meter.TotalByKind()
+		jr.CostVMUSD = byKind["vm"]
+		jr.CostLambdaUSD = byKind["lambda"]
+		jr.CostUSD = j.meter.Total()
+
+		if j.err != nil {
+			jr.Failed = j.err.Error()
+			r.Failed++
+		} else {
+			r.Completed++
+			total := j.finishedAt.Sub(j.arrivalAt)
+			jr.Stretch = float64(total) / float64(j.spec.Baseline)
+			jr.SLOViolated = total > deadline
+			if jr.SLOViolated {
+				r.SLOViolations++
+			}
+			if !j.admittedAt.IsZero() {
+				waits = append(waits, j.admittedAt.Sub(j.arrivalAt))
+			}
+			stretches = append(stretches, jr.Stretch)
+		}
+		r.LambdaUSD += jr.CostLambdaUSD
+		r.JobReports = append(r.JobReports, jr)
+	}
+
+	makespan := end.Sub(simclock.Epoch)
+	r.MakespanUS = us(makespan)
+	if len(waits) > 0 {
+		var sum time.Duration
+		for _, w := range waits {
+			sum += w
+		}
+		r.QueueWaitMeanUS = us(sum / time.Duration(len(waits)))
+		sorted := append([]time.Duration(nil), waits...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		r.QueueWaitP50US = us(quantileDur(sorted, 0.50))
+		r.QueueWaitP99US = us(quantileDur(sorted, 0.99))
+	}
+	if len(stretches) > 0 {
+		sum := 0.0
+		for _, v := range stretches {
+			sum += v
+		}
+		r.MeanStretch = sum / float64(len(stretches))
+		sorted := append([]float64(nil), stretches...)
+		sort.Float64s(sorted)
+		idx := int(0.99 * float64(len(sorted)-1))
+		if float64(idx) < 0.99*float64(len(sorted)-1) {
+			idx++
+		}
+		r.P99Stretch = sorted[idx]
+	}
+
+	// Capacity: base pool cores for the makespan, procured cores from
+	// their ready instant. The base fleet is billed for the makespan,
+	// procured VMs for their uptime.
+	capSeconds := 0.0
+	for _, vm := range s.baseVMs {
+		capSeconds += float64(vm.Type.VCPUs) * makespan.Seconds()
+		r.VMBaseUSD += billing.VMCost(vm.Type.PricePerHour, makespan)
+	}
+	for _, vm := range s.procured {
+		up := end.Sub(vm.ReadyAt)
+		if up < 0 {
+			up = 0
+		}
+		capSeconds += float64(vm.Type.VCPUs) * up.Seconds()
+		r.VMAutoscaleUSD += billing.VMCost(vm.Type.PricePerHour, up)
+	}
+	if capSeconds > 0 {
+		r.CoreUtilization = vmBusy.Seconds() / capSeconds
+	}
+	if total := vmBusy + lambdaBusy; total > 0 {
+		r.LambdaShare = lambdaBusy.Seconds() / total.Seconds()
+	}
+	r.TotalUSD = r.VMBaseUSD + r.VMAutoscaleUSD + r.LambdaUSD
+	return r
+}
+
+// quantileDur returns the q-quantile of an ascending-sorted slice.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if float64(idx) < q*float64(len(sorted)-1) {
+		idx++
+	}
+	return sorted[idx]
+}
+
+// JSON renders the report deterministically (same seed → same bytes).
+func (r *Report) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// String renders a human summary table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: policy=%s strategy=%s pool=%d cores seed=%d\n",
+		r.Policy, r.Strategy, r.PoolCores, r.Seed)
+	fmt.Fprintf(&b, "jobs %d (completed %d, failed %d), SLO violations %d (%.1f%%)\n",
+		r.Jobs, r.Completed, r.Failed, r.SLOViolations,
+		100*float64(r.SLOViolations)/maxf(1, float64(r.Completed)))
+	fmt.Fprintf(&b, "makespan %s; queue wait mean %s p50 %s p99 %s\n",
+		time.Duration(r.MakespanUS)*time.Microsecond,
+		time.Duration(r.QueueWaitMeanUS)*time.Microsecond,
+		time.Duration(r.QueueWaitP50US)*time.Microsecond,
+		time.Duration(r.QueueWaitP99US)*time.Microsecond)
+	fmt.Fprintf(&b, "stretch mean %.2fx p99 %.2fx; core util %.1f%%; lambda share %.1f%%\n",
+		r.MeanStretch, r.P99Stretch, 100*r.CoreUtilization, 100*r.LambdaShare)
+	fmt.Fprintf(&b, "cost $%.2f (base $%.2f + scale $%.2f + lambda $%.2f)\n",
+		r.TotalUSD, r.VMBaseUSD, r.VMAutoscaleUSD, r.LambdaUSD)
+	fmt.Fprintf(&b, "%-4s %-20s %6s %10s %10s %8s %7s %5s %9s\n",
+		"id", "name", "cores", "queued", "ran", "stretch", "slo", "vm/la", "cost")
+	for _, j := range r.JobReports {
+		status := "ok"
+		if j.Failed != "" {
+			status = "FAIL"
+		} else if j.SLOViolated {
+			status = "VIOL"
+		}
+		fmt.Fprintf(&b, "%-4d %-20s %6d %10s %10s %7.2fx %7s %2d/%-2d %8.4f$\n",
+			j.ID, j.Name, j.Cores,
+			(time.Duration(j.QueueWaitUS) * time.Microsecond).Round(time.Millisecond).String(),
+			(time.Duration(j.RunUS) * time.Microsecond).Round(time.Millisecond).String(),
+			j.Stretch, status, j.VMExecutors, j.LambdaExecutors, j.CostUSD)
+	}
+	return b.String()
+}
+
+// WriteProm streams the scheduler's telemetry in Prometheus exposition
+// format (cluster_, vmpool_, engine_ and cloud_ families).
+func (s *Scheduler) WriteProm(w io.Writer) error { return s.hub.WritePrometheus(w) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"splitserve/internal/cluster"
+	"splitserve/internal/workloads"
+)
+
+// ClusterComparison reproduces the fluid day model's strategy comparison
+// (autoscale.CompareDayStrategies) with real task-graph jobs: one mixed
+// stream of SparkPi, PageRank and K-means jobs — Poisson arrivals on the
+// virtual clock — runs three times against the same shared 8-core pool,
+// once per shortfall strategy. The fluid model predicts
+// Queue > Autoscale > Bridge on SLO violations; this scenario shows the
+// ordering surviving contact with real DAGs, stragglers and stage
+// barriers (cross-checked in internal/cluster's tests).
+func ClusterComparison(seed uint64) ([]*cluster.Report, error) {
+	type entry struct {
+		name string
+		mk   func(seed uint64) workloads.Workload
+	}
+	mix := []entry{
+		{"sparkpi", NewSparkPi},
+		{"pagerank", NewPageRank},
+		{"kmeans", NewKMeans},
+	}
+	const (
+		jobs     = 6
+		jobCores = 8
+	)
+
+	baselines := make(map[string]time.Duration, len(mix))
+	for _, e := range mix {
+		base, err := cluster.Baseline(e.mk(seed), jobCores, seed)
+		if err != nil {
+			return nil, fmt.Errorf("cluster comparison: baseline %s: %w", e.name, err)
+		}
+		baselines[e.name] = base
+	}
+
+	arrivals, err := cluster.ParseArrivals("poisson:30s", jobs, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*cluster.Report
+	for _, strategy := range []cluster.Strategy{
+		cluster.StrategyQueue, cluster.StrategyAutoscale, cluster.StrategyBridge,
+	} {
+		specs := make([]cluster.JobSpec, jobs)
+		for i, at := range arrivals {
+			e := mix[i%len(mix)]
+			specs[i] = cluster.JobSpec{
+				Name:     e.name,
+				Workload: e.mk(seed + uint64(i)),
+				Cores:    jobCores,
+				Arrival:  at,
+				Baseline: baselines[e.name],
+			}
+		}
+		s, err := cluster.New(cluster.Config{
+			Jobs:      specs,
+			PoolCores: 8,
+			Policy:    cluster.FairShare(),
+			Strategy:  strategy,
+			SLOFactor: 1.5,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster comparison %s: %w", strategy, err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("cluster comparison %s: %w", strategy, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// FormatClusterComparison renders the comparison as a table.
+func FormatClusterComparison(reports []*cluster.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %5s %5s %5s %10s %8s %8s %8s %9s\n",
+		"strategy", "jobs", "viol", "fail", "p99wait", "stretch", "util", "la-share", "cost")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-14s %5d %5d %5d %10s %7.2fx %7.1f%% %7.1f%% %8.2f$\n",
+			r.Strategy, r.Jobs, r.SLOViolations, r.Failed,
+			(time.Duration(r.QueueWaitP99US) * time.Microsecond).Round(time.Millisecond),
+			r.MeanStretch, 100*r.CoreUtilization, 100*r.LambdaShare, r.TotalUSD)
+	}
+	return b.String()
+}

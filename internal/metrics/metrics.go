@@ -72,6 +72,7 @@ type Event struct {
 type Log struct {
 	start  time.Time
 	hub    *telemetry.Hub
+	app    string
 	events []Event
 	end    time.Time // latest event instant, for clamping open spans
 
@@ -120,6 +121,27 @@ func (l *Log) Start() time.Time { return l.start }
 // Telemetry returns the hub this log bridges into.
 func (l *Log) Telemetry() *telemetry.Hub { return l.hub }
 
+// SetApp labels every span and mark this log bridges with app, and scopes
+// TaskSpans/StageSpans/RenderTimeline to that app. Required when several
+// engine clusters share one telemetry hub (the cluster layer): without
+// the label, two concurrent jobs that both run "stage 0" would collide in
+// the shared tracer and bleed into each other's timelines.
+func (l *Log) SetApp(app string) { l.app = app }
+
+// App returns the log's app scope ("" = unscoped).
+func (l *Log) App() string { return l.app }
+
+// attrs appends the app label (when set) to a span's base attributes.
+func (l *Log) attrs(base ...telemetry.Label) []telemetry.Label {
+	if l.app == "" {
+		return base
+	}
+	return append(base, telemetry.L("app", l.app))
+}
+
+// scoped reports whether a tracer span belongs to this log's app scope.
+func (l *Log) scoped(app string) bool { return l.app == "" || app == l.app }
+
 // Add appends an event and mirrors it into the tracer. Unknown kinds are
 // rejected with an error and not recorded (guards against typo'd event
 // names as call sites multiply).
@@ -140,7 +162,7 @@ func (l *Log) bridge(e Event) {
 	tr := l.hub.Tracer()
 	switch e.Kind {
 	case JobStart:
-		l.openJobs[e.Note] = tr.StartSpanAt(e.At, "job", "run", telemetry.L("job", e.Note))
+		l.openJobs[e.Note] = tr.StartSpanAt(e.At, "job", "run", l.attrs(telemetry.L("job", e.Note))...)
 	case JobEnd:
 		if s, ok := l.openJobs[e.Note]; ok {
 			s.EndAt(e.At)
@@ -148,7 +170,7 @@ func (l *Log) bridge(e Event) {
 		}
 	case StageStart:
 		l.openStages[e.Stage] = tr.StartSpanAt(e.At, "stage", "run",
-			telemetry.L("stage", strconv.Itoa(e.Stage)))
+			l.attrs(telemetry.L("stage", strconv.Itoa(e.Stage)))...)
 	case StageEnd:
 		if s, ok := l.openStages[e.Stage]; ok {
 			s.EndAt(e.At)
@@ -157,10 +179,11 @@ func (l *Log) bridge(e Event) {
 	case TaskStart:
 		k := taskKey{e.Exec, e.Stage, e.Task}
 		l.openTasks[k] = tr.StartSpanAt(e.At, "task", "run",
-			telemetry.L("exec", e.Exec),
-			telemetry.L("kind", e.ExecKind),
-			telemetry.L("stage", strconv.Itoa(e.Stage)),
-			telemetry.L("task", strconv.Itoa(e.Task)))
+			l.attrs(
+				telemetry.L("exec", e.Exec),
+				telemetry.L("kind", e.ExecKind),
+				telemetry.L("stage", strconv.Itoa(e.Stage)),
+				telemetry.L("task", strconv.Itoa(e.Task)))...)
 	case TaskEnd, TaskFailed:
 		k := taskKey{e.Exec, e.Stage, e.Task}
 		if s, ok := l.openTasks[k]; ok {
@@ -169,10 +192,10 @@ func (l *Log) bridge(e Event) {
 		}
 	case ExecutorRegistered:
 		l.openExecs[e.Exec] = tr.StartSpanAt(e.At, "executor", "lifetime",
-			telemetry.L("exec", e.Exec), telemetry.L("kind", e.ExecKind))
+			l.attrs(telemetry.L("exec", e.Exec), telemetry.L("kind", e.ExecKind))...)
 	case ExecutorDraining:
 		l.openDrains[e.Exec] = tr.StartSpanAt(e.At, "executor", "drain",
-			telemetry.L("exec", e.Exec), telemetry.L("kind", e.ExecKind))
+			l.attrs(telemetry.L("exec", e.Exec), telemetry.L("kind", e.ExecKind))...)
 	case ExecutorRemoved:
 		if s, ok := l.openDrains[e.Exec]; ok {
 			s.EndAt(e.At)
@@ -193,7 +216,7 @@ func (l *Log) bridge(e Event) {
 		if e.Task >= 0 {
 			attrs = append(attrs, telemetry.L("task", strconv.Itoa(e.Task)))
 		}
-		tr.MarkAt(e.At, "timeline", string(e.Kind), attrs...)
+		tr.MarkAt(e.At, "timeline", string(e.Kind), l.attrs(attrs...)...)
 	}
 }
 
@@ -238,7 +261,7 @@ type Span struct {
 func (l *Log) TaskSpans() []Span {
 	var spans []Span
 	for _, s := range l.hub.Tracer().Spans() {
-		if s.Component != "task" || s.Name != "run" {
+		if s.Component != "task" || s.Name != "run" || !l.scoped(s.Attr("app")) {
 			continue
 		}
 		stage, _ := strconv.Atoi(s.Attr("stage"))
@@ -278,7 +301,7 @@ type StageSpan struct {
 func (l *Log) StageSpans() []StageSpan {
 	var out []StageSpan
 	for _, s := range l.hub.Tracer().Spans() {
-		if s.Component != "stage" || s.Name != "run" || s.Open {
+		if s.Component != "stage" || s.Name != "run" || s.Open || !l.scoped(s.Attr("app")) {
 			continue
 		}
 		stage, _ := strconv.Atoi(s.Attr("stage"))

@@ -94,6 +94,14 @@ type Config struct {
 	Speculation SpeculationConfig
 	// MaxSimTime bounds one RunJob call in virtual time.
 	MaxSimTime time.Duration
+	// Yield, when set, makes RunJob cooperative: instead of stepping the
+	// shared clock itself (which nests event loops when several engines
+	// run concurrently), RunJob parks by calling Yield with a readiness
+	// probe that turns true once the job completes, and an external
+	// driver pumps the clock and wakes it. Yield returning false aborts
+	// the job as stalled. Used by internal/cluster to interleave many
+	// engines on one clock.
+	Yield func(ready func() bool) bool
 }
 
 // Cluster is the driver/session: it owns executors, the stage and task
@@ -379,10 +387,14 @@ func (c *Cluster) RunJob(target *rdd.RDD, name string) (*Job, error) {
 	c.alloc.onJobStart()
 	c.sched.submitJob(job)
 
-	deadline := c.cfg.Clock.Now().Add(c.cfg.MaxSimTime)
-	for !job.done && c.cfg.Clock.Now().Before(deadline) {
-		if !c.cfg.Clock.Step() {
-			break
+	if c.cfg.Yield != nil {
+		c.cfg.Yield(func() bool { return job.done })
+	} else {
+		deadline := c.cfg.Clock.Now().Add(c.cfg.MaxSimTime)
+		for !job.done && c.cfg.Clock.Now().Before(deadline) {
+			if !c.cfg.Clock.Step() {
+				break
+			}
 		}
 	}
 	if !job.done {

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve/internal/cloud"
+	"splitserve/internal/netsim"
+	"splitserve/internal/simclock"
+	"splitserve/internal/simrand"
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/storage"
+)
+
+func testCluster(t *testing.T) (*engine.Cluster, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New(simclock.Epoch)
+	net := netsim.New(clock)
+	provider := cloud.NewProvider(clock, net, simrand.New(5), cloud.DefaultOptions())
+	vm := provider.ProvisionReadyVM(cloud.M4XLarge)
+	cluster, err := engine.New(engine.Config{
+		AppID: "workloads-test", Clock: clock, Net: net, Provider: provider,
+		Store:   storage.NewLocal(clock, net),
+		Backend: engine.NewStandalone(engine.StandaloneConfig{VMs: []*cloud.VM{vm}}),
+		Alloc:   engine.DefaultAllocConfig(engine.AllocStatic, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, clock
+}
+
+func TestTimedMeasuresVirtualElapsed(t *testing.T) {
+	cluster, clock := testCluster(t)
+	rep, err := Timed(cluster, "fake", func() (string, int, error) {
+		done := false
+		clock.After(3*time.Second, func() { done = true })
+		for !done {
+			if !clock.Step() {
+				t.Fatal("clock drained before body finished")
+			}
+		}
+		return "answer=42", 2, nil
+	})
+	if err != nil {
+		t.Fatalf("Timed: %v", err)
+	}
+	if rep.Workload != "fake" || rep.Answer != "answer=42" || rep.Jobs != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Elapsed != 3*time.Second {
+		t.Fatalf("elapsed = %v, want 3s", rep.Elapsed)
+	}
+}
+
+func TestTimedPropagatesError(t *testing.T) {
+	cluster, _ := testCluster(t)
+	boom := errors.New("boom")
+	rep, err := Timed(cluster, "fake", func() (string, int, error) {
+		return "", 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if rep != nil {
+		t.Fatalf("report should be nil on error, got %+v", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Workload: "pagerank-850k", Answer: "top=0.0042", Jobs: 3,
+		Elapsed: 1500*time.Millisecond + 300*time.Microsecond}
+	s := r.String()
+	for _, want := range []string{"pagerank-850k", "top=0.0042", "3 jobs", "1.5s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
