@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race sim bench
+.PHONY: build test check vet race sim bench smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,21 @@ race:
 	$(GO) test -race ./...
 
 # check is the full pre-commit gate: static analysis plus the whole test
-# suite under the race detector.
+# suite under the race detector, then the event-log smoke round-trip.
 check:
 	$(GO) vet ./... && $(GO) test -race ./...
+	$(MAKE) smoke
+
+# smoke round-trips the observability pipeline: run a small cluster day,
+# save its event log, replay it through splitserve-history, and convert
+# it to a Chrome trace (CI uploads smoke/trace.json as an artifact).
+smoke:
+	mkdir -p smoke
+	$(GO) run ./cmd/splitserve-cluster -jobs 3 -mix sparkpi -pool 8 \
+		-eventlog smoke/events.jsonl > /dev/null
+	$(GO) run ./cmd/splitserve-history -log smoke/events.jsonl \
+		-trace smoke/trace.json
+	@test -s smoke/trace.json && echo "smoke: event log replayed, trace written to smoke/trace.json"
 
 sim:
 	$(GO) run ./cmd/splitserve-sim

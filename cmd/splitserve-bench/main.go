@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"splitserve/internal/autoscale"
+	"splitserve/internal/cliutil"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/experiments"
 )
 
@@ -36,10 +38,12 @@ func run() int {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		trials  = flag.Int("trials", 15, "trials for figure 8's error bars")
 		report  = flag.String("report", "", "append each run's telemetry report to result figures: json | prom")
+		evLog   = flag.String("eventlog", "", cliutil.EventLogUsage+" (collected from result-bearing figures 5, 6, 7, 9)")
+		trace   = flag.String("trace", "", cliutil.TraceUsage+" (collected from result-bearing figures 5, 6, 7, 9)")
 	)
 	flag.Parse()
-	if *report != "" && *report != "json" && *report != "prom" {
-		fmt.Fprintf(os.Stderr, "splitserve-bench: unknown report format %q (want json or prom)\n", *report)
+	if err := cliutil.ValidateReport(*report); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
 		return 2
 	}
 
@@ -63,16 +67,33 @@ func run() int {
 	if *fig == "all" {
 		figs = []string{"1", "2", "4a", "4b", "5", "6", "7", "8", "9"}
 	}
+	var events []eventlog.Event
 	for _, f := range figs {
-		if err := printFigure(f, *seed, *trials, *report); err != nil {
+		if err := printFigure(f, *seed, *trials, *report, &events); err != nil {
 			fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
 			return 1
 		}
 	}
+	if err := cliutil.WriteEventLog(*evLog, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
+		return 1
+	}
+	if err := cliutil.WriteTrace(*trace, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
+		return 1
+	}
 	return 0
 }
 
-func printFigure(fig string, seed uint64, trials int, report string) error {
+// collectEvents appends each run's event stream to *sink; distinct app IDs
+// keep the runs on separate trace tracks.
+func collectEvents(sink *[]eventlog.Event, res []*experiments.Result) {
+	for _, r := range res {
+		*sink = append(*sink, r.Events.Events()...)
+	}
+}
+
+func printFigure(fig string, seed uint64, trials int, report string, events *[]eventlog.Event) error {
 	start := time.Now()
 	switch fig {
 	case "1":
@@ -112,6 +133,7 @@ func printFigure(fig string, seed uint64, trials int, report string) error {
 		if err != nil {
 			return err
 		}
+		collectEvents(events, res)
 		fmt.Print(experiments.FormatResultsByWorkload("Figure 5", res, "Spark 32 VM"))
 		if imp, err := experiments.Speedup(res, "Spark 8/32 autoscale", "SS 8 VM / 24 La"); err == nil {
 			fmt.Printf("hybrid vs VM autoscaling: %.1f%% less execution time (paper: 55.2%%)\n", imp*100)
@@ -125,6 +147,7 @@ func printFigure(fig string, seed uint64, trials int, report string) error {
 		if err != nil {
 			return err
 		}
+		collectEvents(events, res)
 		fmt.Print(experiments.FormatResults("Figure 6: PageRank 850k pages", res, "Spark 16 VM"))
 		if imp, err := experiments.Speedup(res, "Spark 3/16 autoscale", "SS 3 VM / 13 La"); err == nil {
 			fmt.Printf("hybrid vs VM autoscaling: %.1f%% less execution time (paper: ~32%%)\n", imp*100)
@@ -141,6 +164,7 @@ func printFigure(fig string, seed uint64, trials int, report string) error {
 		if err != nil {
 			return err
 		}
+		collectEvents(events, res)
 		fmt.Println("== Figure 7: PageRank execution timelines ==")
 		for _, r := range res {
 			fmt.Printf("--- %s (execution time %v)\n", r.Scenario, r.ExecTime.Round(100*time.Millisecond))
@@ -163,6 +187,7 @@ func printFigure(fig string, seed uint64, trials int, report string) error {
 		if err != nil {
 			return err
 		}
+		collectEvents(events, res)
 		fmt.Print(experiments.FormatResults("Figure 9: SparkPi 1e10 darts", res, "Spark 64 VM"))
 		if err := printReports(res, report); err != nil {
 			return err

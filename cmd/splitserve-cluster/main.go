@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"splitserve/internal/cliutil"
 	"splitserve/internal/cluster"
 	"splitserve/internal/experiments"
 	"splitserve/internal/workloads"
@@ -100,11 +101,13 @@ func run() int {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		report   = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
 		compare  = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+		eventLog = flag.String("eventlog", "", cliutil.EventLogUsage)
+		trace    = flag.String("trace", "", cliutil.TraceUsage)
 	)
 	flag.Parse()
 
-	if *report != "" && *report != "json" && *report != "prom" {
-		fmt.Fprintf(os.Stderr, "splitserve-cluster: unknown report format %q (want json or prom)\n", *report)
+	if err := cliutil.ValidateReport(*report); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 2
 	}
 
@@ -159,6 +162,14 @@ func run() int {
 	}
 	rep, err := s.Run()
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	if err := cliutil.WriteEventLog(*eventLog, s.Events().Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	if err := cliutil.WriteTrace(*trace, s.Events().Events()); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 1
 	}

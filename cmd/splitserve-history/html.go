@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+
+	"splitserve/internal/eventlog"
+)
+
+// Timeline geometry and palette. The page is server-rendered inline SVG —
+// no JavaScript — so it works in any browser and in CI artifact previews.
+const (
+	svgWidth   = 1000
+	rowHeight  = 22
+	rowGap     = 4
+	labelWidth = 230
+
+	colorVM        = "#4c9a52" // green, matches the trace's thread_state_running
+	colorLambda    = "#e08c3c" // orange, matches thread_state_iowait
+	colorFailed    = "#c0392b"
+	colorLifetime  = "#e8e8e8"
+	colorStraggler = "#c0392b"
+)
+
+// renderHTML builds the minimal timeline page: one row per executor with
+// its lifetime in grey and each task as a slice colored by backend;
+// stragglers get a red outline. Below the chart, the analytics tables are
+// embedded verbatim.
+func renderHTML(a *eventlog.Analysis) []byte {
+	endUS := a.EndUS
+	if endUS <= 0 {
+		endUS = 1
+	}
+	x := func(us int64) float64 {
+		return float64(us) / float64(endUS) * svgWidth
+	}
+
+	// Tasks per (app, exec) row.
+	type rowKey struct{ app, exec string }
+	tasks := map[rowKey][]eventlog.TaskStat{}
+	for _, s := range a.Stages {
+		for _, t := range s.Tasks {
+			k := rowKey{t.App, t.Exec}
+			tasks[k] = append(tasks[k], t)
+		}
+	}
+
+	var svg bytes.Buffer
+	height := len(a.Executors)*(rowHeight+rowGap) + rowGap
+	fmt.Fprintf(&svg, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`,
+		labelWidth+svgWidth+10, height)
+	for i, ex := range a.Executors {
+		y := rowGap + i*(rowHeight+rowGap)
+		label := ex.Exec
+		if ex.App != "" {
+			label = ex.App + " / " + ex.Exec
+		}
+		fmt.Fprintf(&svg, `<text x="%d" y="%d">%s</text>`,
+			4, y+rowHeight-7, html.EscapeString(trunc(label, 34)))
+
+		// Lifetime band.
+		x0, x1 := x(ex.AddUS), x(ex.RemoveUS)
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		fmt.Fprintf(&svg, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"/>`,
+			float64(labelWidth)+x0, y, x1-x0, rowHeight, colorLifetime)
+
+		// Task slices.
+		for _, t := range tasks[rowKey{ex.App, ex.Exec}] {
+			tx := x(t.StartUS)
+			tw := x(t.StartUS+t.DurUS) - tx
+			if tw < 1 {
+				tw = 1
+			}
+			fill := colorVM
+			if t.Kind == "lambda" {
+				fill = colorLambda
+			}
+			if t.Failed {
+				fill = colorFailed
+			}
+			stroke := ""
+			if t.Straggler {
+				stroke = fmt.Sprintf(` stroke="%s" stroke-width="2"`, colorStraggler)
+			}
+			fmt.Fprintf(&svg,
+				`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"%s><title>%s</title></rect>`,
+				float64(labelWidth)+tx, y+2, tw, rowHeight-4, fill, stroke,
+				html.EscapeString(fmt.Sprintf("stage %d task %d on %s (%s): %s",
+					t.Stage, t.Task, t.Exec, kindOrDash2(t.Kind), durLabel(t.DurUS))))
+		}
+	}
+	fmt.Fprint(&svg, `</svg>`)
+
+	var b bytes.Buffer
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8"><title>splitserve-history</title>
+<style>
+body { font-family: monospace; margin: 1.5em; }
+pre  { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+.legend span { display: inline-block; width: 12px; height: 12px; margin: 0 4px 0 12px; vertical-align: middle; }
+</style></head><body>
+<h1>splitserve-history</h1>
+<p><a href="/trace">trace.json</a> (open in <a href="https://ui.perfetto.dev">ui.perfetto.dev</a> or chrome://tracing)
+ &middot; <a href="/analysis">analysis</a> &middot; <a href="/log">event log</a></p>
+<p class="legend">
+<span style="background:` + colorVM + `"></span>VM task
+<span style="background:` + colorLambda + `"></span>Lambda task
+<span style="background:` + colorFailed + `"></span>failed
+<span style="border:2px solid ` + colorStraggler + `"></span>straggler
+<span style="background:` + colorLifetime + `"></span>executor lifetime
+</p>
+`)
+	b.Write(svg.Bytes())
+	b.WriteString("\n<h2>analytics</h2>\n<pre>")
+	b.WriteString(html.EscapeString(a.String()))
+	b.WriteString("</pre>\n</body></html>\n")
+	return b.Bytes()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func kindOrDash2(k string) string {
+	if k == "" {
+		return "-"
+	}
+	return k
+}
+
+func durLabel(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%dms", us/1_000)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -1,0 +1,198 @@
+// Command splitserve-history is the repo's history server: it replays a
+// saved event log (or runs a scenario inline) and renders straggler
+// analytics, Chrome-trace timelines, and an HTML timeline view — the
+// Spark History Server analogue for the simulator.
+//
+//	splitserve-sim -workload pagerank -eventlog events.jsonl
+//	splitserve-history -log events.jsonl                  # analytics tables
+//	splitserve-history -log events.jsonl -trace out.json  # Chrome trace for ui.perfetto.dev
+//	splitserve-history -log events.jsonl -serve :8080     # timeline over HTTP
+//	splitserve-history -workload kmeans -scenario hybrid  # run inline, no saved log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"splitserve"
+	"splitserve/internal/cliutil"
+	"splitserve/internal/eventlog"
+)
+
+var scenarioByName = map[string]splitserve.ScenarioKind{
+	"spark-small":  splitserve.ScenarioSparkSmall,
+	"spark-full":   splitserve.ScenarioSparkFull,
+	"autoscale":    splitserve.ScenarioSparkAutoscale,
+	"qubole":       splitserve.ScenarioQubole,
+	"ss-vm":        splitserve.ScenarioSSFullVM,
+	"ss-lambda":    splitserve.ScenarioSSLambda,
+	"hybrid":       splitserve.ScenarioHybrid,
+	"hybrid-segue": splitserve.ScenarioHybridSegue,
+}
+
+func scenarioNames() string {
+	names := make([]string, 0, len(scenarioByName))
+	for n := range scenarioByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " | ")
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		logPath  = flag.String("log", "", "event log (JSONL) to replay; - = stdin (default: run a scenario inline)")
+		workload = flag.String("workload", "pagerank", "inline run: pagerank | kmeans | sparkpi | tpcds-q5 | tpcds-q16 | tpcds-q94 | tpcds-q95")
+		scenario = flag.String("scenario", "hybrid", "inline run: "+scenarioNames())
+		r        = flag.Int("r", 0, "inline run: required cores R (0 = workload default)")
+		small    = flag.Int("small", 0, "inline run: free VM cores r (0 = R/4)")
+		seed     = flag.Uint64("seed", 1, "inline run: simulation seed")
+		factor   = flag.Float64("factor", eventlog.DefaultStragglerFactor,
+			"straggler cut as a multiple of the stage median task duration")
+		trace = flag.String("trace", "", cliutil.TraceUsage)
+		serve = flag.String("serve", "", "serve the timeline over HTTP at this address (e.g. :8080) instead of printing")
+	)
+	flag.Parse()
+
+	events, err := loadEvents(*logPath, *workload, *scenario, *r, *small, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+		return 1
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "splitserve-history: event log is empty")
+		return 1
+	}
+	if err := cliutil.WriteTrace(*trace, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+		return 1
+	}
+
+	analysis := eventlog.Analyze(events, *factor)
+
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "splitserve-history: serving %d events on http://%s/ (/, /trace, /analysis, /log)\n",
+			len(events), strings.TrimPrefix(*serve, ":"))
+		if err := serveHistory(*serve, events, analysis); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Printf("replayed %d events spanning %s\n\n", len(events), spanOf(events))
+	fmt.Print(analysis.String())
+	return 0
+}
+
+// loadEvents reads a saved JSONL log, or runs the requested scenario
+// inline when no log is given.
+func loadEvents(path, workload, scenario string, r, small int, seed uint64) ([]eventlog.Event, error) {
+	if path == "-" {
+		return eventlog.ReadJSONL(os.Stdin)
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return eventlog.ReadJSONL(f)
+	}
+
+	kind, ok := scenarioByName[scenario]
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (accepted: %s)", scenario, scenarioNames())
+	}
+	w, err := buildWorkload(workload, seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := []splitserve.Option{splitserve.WithSeed(seed)}
+	cores := w.DefaultParallelism()
+	if r > 0 {
+		cores = r
+	}
+	sm := cores / 4
+	if small > 0 {
+		sm = small
+	}
+	if sm < 1 {
+		sm = 1
+	}
+	opts = append(opts, splitserve.WithCores(cores, sm))
+	res, err := splitserve.Run(kind, w, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Events(), nil
+}
+
+func buildWorkload(name string, seed uint64) (splitserve.Workload, error) {
+	switch {
+	case name == "pagerank":
+		return splitserve.PageRank(splitserve.PageRankOptions{Seed: seed}), nil
+	case name == "kmeans":
+		return splitserve.KMeans(splitserve.KMeansOptions{Seed: seed}), nil
+	case name == "sparkpi":
+		return splitserve.SparkPi(splitserve.SparkPiOptions{Seed: seed}), nil
+	case strings.HasPrefix(name, "tpcds-"):
+		return splitserve.TPCDSQuery(strings.TrimPrefix(name, "tpcds-")), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func spanOf(events []eventlog.Event) string {
+	var max int64
+	for _, e := range events {
+		if e.TS > max {
+			max = e.TS
+		}
+	}
+	return fmt.Sprintf("%.2fs of virtual time", float64(max)/1e6)
+}
+
+// serveHistory exposes the replayed run over HTTP: an HTML timeline at /,
+// the Chrome trace JSON at /trace, the analytics text at /analysis, and
+// the raw log at /log.
+func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analysis) error {
+	traceJSON, err := eventlog.ChromeTrace(events)
+	if err != nil {
+		return err
+	}
+	page := renderHTML(analysis)
+	analysisText := analysis.String()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(page)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		w.Write(traceJSON)
+	})
+	mux.HandleFunc("/analysis", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, analysisText)
+	})
+	mux.HandleFunc("/log", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		eventlog.WriteJSONL(w, events)
+	})
+	return http.ListenAndServe(addr, mux)
+}

@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"os"
 
+	"splitserve/internal/cliutil"
 	"splitserve/internal/cloud"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/experiments"
+	"splitserve/internal/simclock"
 	"splitserve/internal/workloads/pagerank"
 )
 
@@ -47,6 +50,8 @@ func run() int {
 		maxPar     = flag.Int("max-parallelism", 128, "largest degree of parallelism (powers of two from 1)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		report     = flag.String("report", "", "emit the profile as a machine-readable report: json | prom")
+		eventLog   = flag.String("eventlog", "", cliutil.EventLogUsage)
+		trace      = flag.String("trace", "", cliutil.TraceUsage)
 	)
 	flag.Parse()
 
@@ -55,9 +60,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-profile: -substrate must be lambda or vm")
 		return 2
 	}
-	if *report != "" && *report != "json" && *report != "prom" {
-		fmt.Fprintf(os.Stderr, "splitserve-profile: unknown report format %q (want json or prom)\n", *report)
+	if err := cliutil.ValidateReport(*report); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
 		return 2
+	}
+
+	// One shared bus across the whole sweep; each sample gets a distinct
+	// app ID so the runs land on separate tracks in the trace.
+	var bus *eventlog.Bus
+	if *eventLog != "" || *trace != "" {
+		bus = eventlog.NewBus(simclock.Epoch)
 	}
 
 	sizes := []int{25_000, 50_000, 100_000}
@@ -90,6 +102,8 @@ func run() int {
 				WorkerVMType: workerType,
 				MasterVMType: cloud.M4XLarge,
 				Seed:         *seed,
+				Events:       bus,
+				AppID:        fmt.Sprintf("pagerank-%d-x%d", size, par),
 			}, pagerank.New(cfg))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
@@ -126,6 +140,15 @@ func run() int {
 		if human {
 			fmt.Println()
 		}
+	}
+
+	if err := cliutil.WriteEventLog(*eventLog, bus.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
+	}
+	if err := cliutil.WriteTrace(*trace, bus.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
 	}
 
 	switch *report {

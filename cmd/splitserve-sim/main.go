@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"splitserve"
+	"splitserve/internal/cliutil"
 )
 
 // workloadNames is the accepted -workload vocabulary, kept in sync with
@@ -59,6 +60,8 @@ func run() int {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		width    = flag.Int("width", 100, "timeline width")
 		report   = flag.String("report", "", "emit only the telemetry report: json | prom")
+		eventLog = flag.String("eventlog", "", cliutil.EventLogUsage)
+		trace    = flag.String("trace", "", cliutil.TraceUsage)
 	)
 	flag.Parse()
 
@@ -68,8 +71,8 @@ func run() int {
 			*scenario, strings.Join(scenarioNames(), ", "))
 		return 2
 	}
-	if *report != "" && *report != "json" && *report != "prom" {
-		fmt.Fprintf(os.Stderr, "splitserve-sim: unknown report format %q (want json or prom)\n", *report)
+	if err := cliutil.ValidateReport(*report); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 2
 	}
 	w, err := buildWorkload(*workload, *seed)
@@ -97,6 +100,14 @@ func run() int {
 
 	res, err := splitserve.Run(kind, w, opts...)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 1
+	}
+	if err := cliutil.WriteEventLog(*eventLog, res.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 1
+	}
+	if err := cliutil.WriteTrace(*trace, res.Events()); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 1
 	}

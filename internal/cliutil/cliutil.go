@@ -1,0 +1,81 @@
+// Package cliutil holds the flag vocabulary and output helpers shared by
+// the splitserve-* commands, so accepted values and validation cannot
+// drift between binaries.
+package cliutil
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"splitserve/internal/eventlog"
+)
+
+// ReportFormats is the accepted -report vocabulary.
+var ReportFormats = []string{"json", "prom"}
+
+// ReportUsage is the shared -report help text.
+const ReportUsage = "emit a machine-readable report: json | prom"
+
+// EventLogUsage and TraceUsage are the shared help texts for the
+// observability output flags every command carries.
+const (
+	EventLogUsage = "write the structured event log as JSONL to this file (- = stdout); replay with splitserve-history"
+	TraceUsage    = "write a Chrome trace-event JSON timeline to this file (- = stdout); open in chrome://tracing or ui.perfetto.dev"
+)
+
+// ValidateReport checks a -report value against ReportFormats ("" = off).
+func ValidateReport(format string) error {
+	if format == "" {
+		return nil
+	}
+	for _, f := range ReportFormats {
+		if format == f {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown report format %q (accepted: %s)",
+		format, strings.Join(ReportFormats, ", "))
+}
+
+// writeOut writes data to path, with "-" meaning stdout and "" a no-op.
+func writeOut(path string, data []byte) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		_, err := os.Stdout.Write(data)
+		return err
+	default:
+		return os.WriteFile(path, data, 0o644)
+	}
+}
+
+// WriteEventLog writes an event stream as JSONL to path ("" = off,
+// "-" = stdout). Commands that run several scenarios concatenate the
+// per-run streams; apps stay distinguishable through the events' App
+// field.
+func WriteEventLog(path string, events []eventlog.Event) error {
+	if path == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := eventlog.WriteJSONL(&buf, events); err != nil {
+		return err
+	}
+	return writeOut(path, buf.Bytes())
+}
+
+// WriteTrace renders an event stream as Chrome trace-event JSON to path
+// ("" = off, "-" = stdout).
+func WriteTrace(path string, events []eventlog.Event) error {
+	if path == "" {
+		return nil
+	}
+	data, err := eventlog.ChromeTrace(events)
+	if err != nil {
+		return err
+	}
+	return writeOut(path, data)
+}

@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve/internal/eventlog"
+)
+
+func TestValidateReport(t *testing.T) {
+	for _, ok := range []string{"", "json", "prom"} {
+		if err := ValidateReport(ok); err != nil {
+			t.Errorf("ValidateReport(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"yaml", "JSON", "text"} {
+		err := ValidateReport(bad)
+		if err == nil {
+			t.Errorf("ValidateReport(%q) = nil, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "accepted: json, prom") {
+			t.Errorf("ValidateReport(%q) error %q does not list accepted formats", bad, err)
+		}
+	}
+}
+
+func testEvents(t *testing.T) []eventlog.Event {
+	t.Helper()
+	origin := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	bus := eventlog.NewBus(origin)
+	ev := eventlog.Ev(eventlog.JobStart)
+	ev.App = "app-1"
+	bus.Emit(origin.Add(time.Second), ev)
+	return bus.Events()
+}
+
+func TestWriteEventLogAndTrace(t *testing.T) {
+	events := testEvents(t)
+	dir := t.TempDir()
+
+	logPath := filepath.Join(dir, "events.jsonl")
+	if err := WriteEventLog(logPath, events); err != nil {
+		t.Fatalf("WriteEventLog: %v", err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type":"job_start"`) {
+		t.Errorf("event log missing job_start: %s", data)
+	}
+
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := WriteTrace(tracePath, events); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	data, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Errorf("trace output missing traceEvents wrapper: %s", data)
+	}
+
+	// "" is a no-op regardless of the stream.
+	if err := WriteEventLog("", nil); err != nil {
+		t.Errorf(`WriteEventLog("", nil) = %v, want nil`, err)
+	}
+	if err := WriteTrace("", nil); err != nil {
+		t.Errorf(`WriteTrace("", nil) = %v, want nil`, err)
+	}
+}

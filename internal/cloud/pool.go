@@ -1,6 +1,9 @@
 package cloud
 
 import (
+	"time"
+
+	"splitserve/internal/eventlog"
 	"splitserve/internal/telemetry"
 )
 
@@ -18,6 +21,16 @@ type CorePool struct {
 
 	coresTotal *telemetry.Gauge
 	coresInUse *telemetry.Gauge
+	bus        *eventlog.Bus
+	busNow     func() time.Time
+}
+
+// SetEventLog attaches an event-log bus; each Acquire emits one core_lease
+// event (Cores = granted count, App = owner) and each lease Release a
+// core_release, stamped with now() on the virtual clock.
+func (p *CorePool) SetEventLog(bus *eventlog.Bus, now func() time.Time) {
+	p.bus = bus
+	p.busNow = now
 }
 
 type pooledVM struct {
@@ -48,6 +61,13 @@ func (l *CoreLease) Release() {
 	l.released = true
 	l.entry.used--
 	l.pool.coresInUse.Dec()
+	if p := l.pool; p.bus != nil {
+		ev := eventlog.Ev(eventlog.CoreRelease)
+		ev.App = l.owner
+		ev.Exec = l.entry.vm.ID
+		ev.Cores = 1
+		p.bus.Emit(p.busNow(), ev)
+	}
 }
 
 // NewCorePool returns a pool over the given ready instances.
@@ -126,6 +146,12 @@ func (p *CorePool) Acquire(owner string, n int) []*CoreLease {
 		if len(out) == n {
 			break
 		}
+	}
+	if p.bus != nil && len(out) > 0 {
+		ev := eventlog.Ev(eventlog.CoreLease)
+		ev.App = owner
+		ev.Cores = len(out)
+		p.bus.Emit(p.busNow(), ev)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"splitserve/internal/eventlog"
 	"splitserve/internal/netsim"
 	"splitserve/internal/simclock"
 	"splitserve/internal/simrand"
@@ -164,6 +165,23 @@ type Provider struct {
 	vms       []*VM
 	lambdas   []*Lambda
 	insts     providerInstruments
+	bus       *eventlog.Bus
+}
+
+// SetEventLog attaches an event-log bus; the provider emits control-plane
+// events (vm_request/vm_ready, lambda_invoke/lambda_ready/lambda_release)
+// with no app tag — the control plane is shared across jobs.
+func (p *Provider) SetEventLog(bus *eventlog.Bus) { p.bus = bus }
+
+func (p *Provider) emit(t eventlog.Type, exec, kind, note string) {
+	if p.bus == nil {
+		return
+	}
+	ev := eventlog.Ev(t)
+	ev.Exec = exec
+	ev.Kind = kind
+	ev.Note = note
+	p.bus.Emit(p.clock.Now(), ev)
 }
 
 // NewProvider returns a Provider driven by clock and net.
@@ -226,6 +244,7 @@ func (p *Provider) RequestVM(t VMType, bootOverride time.Duration, ready func(*V
 	p.vms = append(p.vms, vm)
 	p.insts.vmRequests.Inc()
 	p.insts.vmsPending.Inc()
+	p.emit(eventlog.VMRequest, vm.ID, "vm", t.Name)
 	vm.bootSpan = p.tracer().StartSpan("cloud", "vm_boot", telemetry.L("vm", vm.ID))
 	delay := bootOverride
 	if delay <= 0 {
@@ -240,6 +259,7 @@ func (p *Provider) RequestVM(t VMType, bootOverride time.Duration, ready func(*V
 		p.insts.vmsPending.Dec()
 		p.insts.vmsLive.Inc()
 		p.insts.vmBoot.ObserveDuration(vm.ReadyAt.Sub(vm.RequestedAt))
+		p.emit(eventlog.VMReady, vm.ID, "vm", t.Name)
 		vm.bootSpan.End()
 		if ready != nil {
 			ready(vm)
@@ -314,6 +334,7 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 	si := startIdx(cold)
 	p.insts.lambdaInvocations[si].Inc()
 	p.insts.lambdasInFlight.Inc()
+	p.emit(eventlog.LambdaInvoke, l.ID, startNames[si], "")
 	l.startSpan = p.tracer().StartSpan("cloud", "lambda_start",
 		telemetry.L("lambda", l.ID), telemetry.L("start", startNames[si]))
 	l.lifeSpan = p.tracer().StartSpan("cloud", "lambda", telemetry.L("lambda", l.ID))
@@ -328,6 +349,7 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 		l.State = LambdaRunning
 		l.ReadyAt = p.clock.Now()
 		p.insts.lambdaStart[si].ObserveDuration(l.ReadyAt.Sub(l.InvokedAt))
+		p.emit(eventlog.LambdaReady, l.ID, startNames[si], "")
 		l.startSpan.End()
 		l.expiry = p.clock.After(p.opts.Limits.MaxLifetime, func() {
 			if l.State != LambdaRunning {
@@ -361,6 +383,7 @@ func (p *Provider) Release(l *Lambda) {
 	l.State = LambdaFinished
 	l.EndedAt = p.clock.Now()
 	p.insts.lambdasInFlight.Dec()
+	p.emit(eventlog.LambdaRelease, l.ID, "", "")
 	l.startSpan.End()
 	l.lifeSpan.End()
 	p.warmPool[l.Config.MemoryMB] = p.warmPoolFor(l.Config.MemoryMB) + 1

@@ -17,6 +17,7 @@ import (
 	"splitserve/internal/autoscale"
 	"splitserve/internal/billing"
 	"splitserve/internal/cloud"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/hdfs"
 	"splitserve/internal/metrics"
 	"splitserve/internal/netsim"
@@ -183,8 +184,12 @@ func newClusterInstruments(h *telemetry.Hub) *clusterInstruments {
 		segueGrants:   h.Counter("cluster_segue_core_grants_total"),
 		jobsQueued:    h.Gauge("cluster_jobs_queued"),
 		jobsRunning:   h.Gauge("cluster_jobs_running"),
-		queueWait:     h.Histogram("cluster_queue_wait_seconds", nil),
-		stretch:       h.Histogram("cluster_job_stretch", []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10, 20}),
+		// Queue waits in a busy cluster run to minutes or hours, well past
+		// DefBuckets' 250s ceiling — use explicit bounds up to 2h.
+		queueWait: h.Histogram("cluster_queue_wait_seconds", []float64{
+			1, 5, 15, 30, 60, 120, 300, 600, 1200, 1800, 3600, 7200,
+		}),
+		stretch: h.Histogram("cluster_job_stretch", []float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10, 20}),
 	}
 }
 
@@ -200,6 +205,7 @@ type Scheduler struct {
 	provider *cloud.Provider
 	fs       *hdfs.Cluster
 	pool     *cloud.CorePool
+	bus      *eventlog.Bus
 	insts    *clusterInstruments
 
 	baseVMs  []*cloud.VM
@@ -257,17 +263,21 @@ func New(cfg Config) (*Scheduler, error) {
 	clock := simclock.New(simclock.Epoch)
 	net := netsim.New(clock)
 	hub := telemetry.New(clock)
+	bus := eventlog.NewBus(simclock.Epoch)
 	provider := cloud.NewProvider(clock, net, simrand.New(cfg.Seed+1), cloud.DefaultOptions())
 	provider.SetTelemetry(hub)
+	provider.SetEventLog(bus)
 
 	// The master hosts the namenode and datanode; pool VMs run executors.
 	master := provider.ProvisionReadyVM(cloud.M4XLarge)
 	fs := hdfs.NewCluster(clock, net, hdfs.DefaultOptions())
 	fs.SetTelemetry(hub)
+	fs.SetEventLog(bus, "")
 	fs.AddDataNode("dn-"+master.ID, []*netsim.Pool{master.EBS})
 
 	pool := cloud.NewCorePool()
 	pool.SetTelemetry(hub)
+	pool.SetEventLog(bus, clock.Now)
 	var baseVMs []*cloud.VM
 	for pool.Capacity() < cfg.PoolCores {
 		vm := provider.ProvisionReadyVM(cfg.PoolVMType)
@@ -277,7 +287,7 @@ func New(cfg Config) (*Scheduler, error) {
 
 	s := &Scheduler{
 		cfg: cfg, clock: clock, net: net, hub: hub,
-		provider: provider, fs: fs, pool: pool,
+		provider: provider, fs: fs, pool: pool, bus: bus,
 		insts: newClusterInstruments(hub), baseVMs: baseVMs,
 	}
 	for i, spec := range cfg.Jobs {
@@ -294,6 +304,20 @@ func New(cfg Config) (*Scheduler, error) {
 
 // Telemetry exposes the shared hub (for prom export).
 func (s *Scheduler) Telemetry() *telemetry.Hub { return s.hub }
+
+// Events exposes the run's structured event stream (for -eventlog/-trace).
+func (s *Scheduler) Events() *eventlog.Bus { return s.bus }
+
+// emit sends one scheduler-level event for job j.
+func (s *Scheduler) emit(t eventlog.Type, j *job, mutate func(*eventlog.Event)) {
+	ev := eventlog.Ev(t)
+	ev.App = j.appID
+	ev.Note = j.spec.Name
+	if mutate != nil {
+		mutate(&ev)
+	}
+	s.bus.Emit(s.clock.Now(), ev)
+}
 
 // Clock exposes the shared virtual clock.
 func (s *Scheduler) Clock() *simclock.Clock { return s.clock }
@@ -368,6 +392,7 @@ func (s *Scheduler) onArrival(j *job) {
 	j.queueSpan = s.hub.Tracer().StartSpan("cluster", "queue_wait",
 		telemetry.L("app", j.appID))
 	s.insts.jobsArrived.Inc()
+	s.emit(eventlog.ClusterArrive, j, func(ev *eventlog.Event) { ev.Cores = j.spec.Cores })
 	s.kick()
 }
 
@@ -441,6 +466,7 @@ func (s *Scheduler) schedule() {
 		}
 		if j.backend.lambdaLive > 0 {
 			s.insts.segueGrants.Add(float64(len(leases)))
+			s.emit(eventlog.SegueCoreGrant, j, func(ev *eventlog.Event) { ev.Cores = len(leases) })
 		}
 		j.backend.addLeases(leases)
 	}
@@ -464,6 +490,10 @@ func (s *Scheduler) schedule() {
 			t := s.cfg.PoolVMType
 			s.pendingProcureCores += t.VCPUs
 			unmet -= t.VCPUs
+			ev := eventlog.Ev(eventlog.AutoscaleOrder)
+			ev.Cores = t.VCPUs
+			ev.Note = t.Name
+			s.bus.Emit(s.clock.Now(), ev)
 			s.provider.RequestVM(t, s.cfg.VMBootOverride, func(vm *cloud.VM) {
 				s.pendingProcureCores -= vm.Type.VCPUs
 				s.pool.AddVM(vm)
@@ -493,6 +523,7 @@ func (s *Scheduler) admit(j *job) {
 	j.admittedAt = s.clock.Now()
 	j.queueSpan.End()
 	s.insts.queueWait.ObserveDuration(s.clock.Since(j.arrivalAt))
+	s.emit(eventlog.ClusterAdmit, j, func(ev *eventlog.Event) { ev.Cores = j.target })
 
 	lg := metrics.NewWithTelemetry(s.clock.Now(), s.hub)
 	lg.SetApp(j.appID)
@@ -507,6 +538,7 @@ func (s *Scheduler) admit(j *job) {
 		Store:               s.fs.Store(),
 		Backend:             j.backend,
 		Log:                 lg,
+		Events:              s.bus,
 		Alloc:               engine.DefaultAllocConfig(engine.AllocStatic, j.spec.Cores, j.spec.Cores),
 		SLO:                 j.allowance(s.cfg.SLOFactor),
 		StageLaunchOverhead: stageOverhead,
@@ -587,13 +619,16 @@ func (s *Scheduler) finish(j *job, rep *workloads.Report, err error) {
 	if err != nil {
 		j.phase = jobFailed
 		s.insts.jobsFailed.Inc()
+		s.emit(eventlog.ClusterFail, j, func(ev *eventlog.Event) { ev.Note = err.Error() })
 	} else {
 		j.phase = jobDone
 		s.insts.jobsCompleted.Inc()
+		s.emit(eventlog.ClusterFinish, j, nil)
 		stretch := float64(now.Sub(j.arrivalAt)) / float64(j.spec.Baseline)
 		s.insts.stretch.Observe(stretch)
 		if now.Sub(j.arrivalAt) > j.allowance(s.cfg.SLOFactor) {
 			s.insts.sloViolations.Inc()
+			s.emit(eventlog.SLOViolate, j, nil)
 		}
 	}
 	// Bill the job: each VM executor is one core of its host for its

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"splitserve/internal/eventlog"
 	"splitserve/internal/workloads"
 	"splitserve/internal/workloads/sparkpi"
 )
@@ -166,6 +167,74 @@ func TestFairShareBeatsFIFOQueueWait(t *testing.T) {
 		t.Fatalf("fair share p99 queue wait %s not better than fifo %s\nfifo:\n%s\nfair:\n%s",
 			time.Duration(fair.QueueWaitP99US)*time.Microsecond,
 			time.Duration(fifo.QueueWaitP99US)*time.Microsecond, fifo, fair)
+	}
+	// Same assertion through the exported histograms (non-strict: bucket
+	// interpolation can tie when both land in the same bucket).
+	if fair.QueueWaitHist.Count == 0 || fifo.QueueWaitHist.Count == 0 {
+		t.Fatal("queue-wait histograms not exported in report")
+	}
+	if fair.QueueWaitHist.P99 > fifo.QueueWaitHist.P99 {
+		t.Fatalf("fair share histogram p99 queue wait %.1fs worse than fifo %.1fs",
+			fair.QueueWaitHist.P99, fifo.QueueWaitHist.P99)
+	}
+	if fair.StretchHist.Count == 0 || fifo.StretchHist.Count == 0 {
+		t.Fatal("stretch histograms not exported in report")
+	}
+}
+
+// TestClusterEventLogDeterministic runs the same multi-job day twice and
+// requires byte-identical event logs — the cluster-path half of the
+// replay-artifact guarantee (the single-run half lives in experiments).
+func TestClusterEventLogDeterministic(t *testing.T) {
+	run := func() []byte {
+		arrivals, err := ParseArrivals("poisson:8s", 4, 1)
+		if err != nil {
+			t.Fatalf("ParseArrivals: %v", err)
+		}
+		s, err := New(Config{
+			Jobs:      testJobs(t, arrivals, 4, 8, 4),
+			PoolCores: 4,
+			Policy:    FairShare(),
+			Strategy:  StrategyBridge,
+			SLOFactor: 2,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		buf, err := s.Events().JSONL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("cluster event log is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two identical cluster runs produced different event logs")
+	}
+	// The stream must carry the cluster-layer vocabulary on top of the
+	// per-job engine events.
+	events, err := eventlog.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	seen := map[eventlog.Type]bool{}
+	for _, e := range events {
+		seen[e.Type] = true
+	}
+	for _, want := range []eventlog.Type{
+		eventlog.ClusterArrive, eventlog.ClusterAdmit, eventlog.ClusterFinish,
+		eventlog.CoreLease, eventlog.TaskStart, eventlog.TaskEnd,
+	} {
+		if !seen[want] {
+			t.Errorf("cluster event log missing %s events", want)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"splitserve/internal/billing"
 	"splitserve/internal/simclock"
 	"splitserve/internal/spark/engine"
+	"splitserve/internal/telemetry"
 )
 
 // JobReport is one job's outcome. Durations are microseconds so the JSON
@@ -63,6 +64,12 @@ type Report struct {
 	MeanStretch float64 `json:"mean_stretch"`
 	P99Stretch  float64 `json:"p99_stretch"`
 
+	// QueueWaitHist and StretchHist export the full per-job distributions
+	// (not just the scalar quantiles above) so crosschecks can assert on
+	// any quantile via HistogramSnapshot.Quantile.
+	QueueWaitHist telemetry.HistogramSnapshot `json:"queue_wait_hist"`
+	StretchHist   telemetry.HistogramSnapshot `json:"stretch_hist"`
+
 	// CoreUtilization is VM-executor busy time over pool core-time;
 	// LambdaShare is the Lambda fraction of all busy time.
 	CoreUtilization float64 `json:"core_utilization"`
@@ -85,6 +92,9 @@ func (s *Scheduler) buildReport() *Report {
 		Seed:      s.cfg.Seed,
 		PoolCores: s.cfg.PoolCores,
 		Jobs:      len(s.jobs),
+
+		QueueWaitHist: s.insts.queueWait.Snapshot(),
+		StretchHist:   s.insts.stretch.Snapshot(),
 	}
 	end := simclock.Epoch
 	var waits []time.Duration

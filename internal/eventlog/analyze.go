@@ -1,0 +1,363 @@
+package eventlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultStragglerFactor matches Spark's speculation multiplier: a task is
+// a straggler when it runs at least this many times the stage median.
+const DefaultStragglerFactor = 1.5
+
+// TaskStat is one finished task occurrence.
+type TaskStat struct {
+	App       string
+	Stage     int
+	Task      int
+	Exec      string
+	Kind      string // "vm" | "lambda"
+	StartUS   int64
+	DurUS     int64
+	Failed    bool
+	Straggler bool
+}
+
+// StageStat aggregates one (app, stage) pair.
+type StageStat struct {
+	App        string
+	Stage      int
+	Tasks      []TaskStat
+	StartUS    int64
+	EndUS      int64
+	P50US      int64
+	P95US      int64
+	P99US      int64
+	MaxUS      int64
+	MedianUS   int64
+	Stragglers []TaskStat
+	VMTasks    int
+	LambdaTask int
+	VMBusyUS   int64
+	LambdaBusy int64 // µs
+}
+
+// ExecStat is one executor's lifetime utilization.
+type ExecStat struct {
+	App      string
+	Exec     string
+	Kind     string
+	Cores    int
+	AddUS    int64
+	RemoveUS int64 // log end if never removed
+	BusyUS   int64
+	Tasks    int
+	Util     float64 // BusyUS / (lifetime x cores)
+}
+
+// Analysis is the full per-stage analytics pass over an event stream.
+type Analysis struct {
+	Factor    float64
+	EndUS     int64
+	Stages    []StageStat
+	Executors []ExecStat
+}
+
+// Analyze runs the per-stage analytics pass: task-duration quantiles,
+// straggler detection by the median-multiple rule (factor <= 0 selects
+// DefaultStragglerFactor), executor utilization, and the Lambda-vs-VM
+// split per stage.
+func Analyze(events []Event, factor float64) *Analysis {
+	if factor <= 0 {
+		factor = DefaultStragglerFactor
+	}
+	a := &Analysis{Factor: factor}
+	for _, e := range events {
+		if e.TS > a.EndUS {
+			a.EndUS = e.TS
+		}
+	}
+
+	type taskKey struct {
+		app   string
+		exec  string
+		stage int
+		task  int
+	}
+	type execKey struct {
+		app  string
+		exec string
+	}
+	openTasks := map[taskKey]Event{}
+	stages := map[string]*StageStat{} // key: app \x00 stage
+	execs := map[execKey]*ExecStat{}
+	execOrder := []execKey{}
+	stageOrder := []string{}
+
+	stageOf := func(app string, stage int) *StageStat {
+		k := fmt.Sprintf("%s\x00%06d", app, stage)
+		if s, ok := stages[k]; ok {
+			return s
+		}
+		s := &StageStat{App: app, Stage: stage, StartUS: -1}
+		stages[k] = s
+		stageOrder = append(stageOrder, k)
+		return s
+	}
+	execOf := func(app, exec, kind string) *ExecStat {
+		k := execKey{app, exec}
+		if x, ok := execs[k]; ok {
+			if x.Kind == "" && kind != "" {
+				x.Kind = kind
+			}
+			return x
+		}
+		x := &ExecStat{App: app, Exec: exec, Kind: kind, RemoveUS: -1}
+		execs[k] = x
+		execOrder = append(execOrder, k)
+		return x
+	}
+
+	for _, e := range events {
+		switch e.Type {
+		case StageStart:
+			s := stageOf(e.App, e.Stage)
+			if s.StartUS < 0 || e.TS < s.StartUS {
+				s.StartUS = e.TS
+			}
+		case StageEnd:
+			s := stageOf(e.App, e.Stage)
+			if e.TS > s.EndUS {
+				s.EndUS = e.TS
+			}
+		case TaskStart:
+			openTasks[taskKey{e.App, e.Exec, e.Stage, e.Task}] = e
+		case TaskEnd, TaskFailed:
+			k := taskKey{e.App, e.Exec, e.Stage, e.Task}
+			st, ok := openTasks[k]
+			if !ok {
+				continue
+			}
+			delete(openTasks, k)
+			ts := TaskStat{
+				App: e.App, Stage: e.Stage, Task: e.Task, Exec: e.Exec,
+				Kind: st.Kind, StartUS: st.TS, DurUS: e.TS - st.TS,
+				Failed: e.Type == TaskFailed,
+			}
+			s := stageOf(e.App, e.Stage)
+			s.Tasks = append(s.Tasks, ts)
+			x := execOf(e.App, e.Exec, st.Kind)
+			x.BusyUS += ts.DurUS
+			x.Tasks++
+		case ExecutorAdd:
+			x := execOf(e.App, e.Exec, e.Kind)
+			x.AddUS = e.TS
+			x.Cores = e.Cores
+		case ExecutorRemove:
+			execOf(e.App, e.Exec, e.Kind).RemoveUS = e.TS
+		}
+	}
+
+	for _, k := range stageOrder {
+		s := stages[k]
+		if s.StartUS < 0 {
+			s.StartUS = 0
+		}
+		durs := make([]int64, 0, len(s.Tasks))
+		for i := range s.Tasks {
+			t := &s.Tasks[i]
+			durs = append(durs, t.DurUS)
+			if t.Kind == "lambda" {
+				s.LambdaTask++
+				s.LambdaBusy += t.DurUS
+			} else {
+				s.VMTasks++
+				s.VMBusyUS += t.DurUS
+			}
+			if end := t.StartUS + t.DurUS; end > s.EndUS {
+				s.EndUS = end
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		s.P50US = quantileUS(durs, 0.50)
+		s.P95US = quantileUS(durs, 0.95)
+		s.P99US = quantileUS(durs, 0.99)
+		s.MedianUS = s.P50US
+		if n := len(durs); n > 0 {
+			s.MaxUS = durs[n-1]
+		}
+		if s.MedianUS > 0 {
+			cut := int64(factor * float64(s.MedianUS))
+			for i := range s.Tasks {
+				t := &s.Tasks[i]
+				if t.DurUS >= cut && t.DurUS > s.MedianUS {
+					t.Straggler = true
+					s.Stragglers = append(s.Stragglers, *t)
+				}
+			}
+		}
+		a.Stages = append(a.Stages, *s)
+	}
+
+	for _, k := range execOrder {
+		x := execs[k]
+		if x.RemoveUS < 0 {
+			x.RemoveUS = a.EndUS
+		}
+		cores := x.Cores
+		if cores < 1 {
+			cores = 1
+		}
+		if life := x.RemoveUS - x.AddUS; life > 0 {
+			x.Util = float64(x.BusyUS) / (float64(life) * float64(cores))
+		}
+		a.Executors = append(a.Executors, *x)
+	}
+	return a
+}
+
+// quantileUS returns the q-quantile of sorted durations by linear
+// interpolation between order statistics (the same estimator the telemetry
+// histograms approximate from buckets, but exact here).
+func quantileUS(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + int64(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+// String renders the analysis as text tables: one stage summary table, a
+// straggler list, and executor utilization timelines (bucketed ASCII bars
+// over the run).
+func (a *Analysis) String() string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "== stage summary (straggler factor %.2fx median) ==\n", a.Factor)
+	fmt.Fprintf(&b, "%-24s %5s %6s %9s %9s %9s %9s %9s %4s %4s %7s\n",
+		"app", "stage", "tasks", "p50", "p95", "p99", "max", "span", "vm", "λ", "stragl")
+	for _, s := range a.Stages {
+		fmt.Fprintf(&b, "%-24s %5d %6d %9s %9s %9s %9s %9s %4d %4d %7d\n",
+			trunc(s.App, 24), s.Stage, len(s.Tasks),
+			durUS(s.P50US), durUS(s.P95US), durUS(s.P99US), durUS(s.MaxUS),
+			durUS(s.EndUS-s.StartUS), s.VMTasks, s.LambdaTask, len(s.Stragglers))
+	}
+
+	var anyStrag bool
+	for _, s := range a.Stages {
+		if len(s.Stragglers) > 0 {
+			anyStrag = true
+			break
+		}
+	}
+	if anyStrag {
+		fmt.Fprintf(&b, "\n== stragglers (dur >= %.2fx stage median) ==\n", a.Factor)
+		fmt.Fprintf(&b, "%-24s %5s %5s %-14s %-7s %9s %9s %7s\n",
+			"app", "stage", "task", "exec", "kind", "dur", "median", "ratio")
+		for _, s := range a.Stages {
+			for _, t := range s.Stragglers {
+				ratio := 0.0
+				if s.MedianUS > 0 {
+					ratio = float64(t.DurUS) / float64(s.MedianUS)
+				}
+				fmt.Fprintf(&b, "%-24s %5d %5d %-14s %-7s %9s %9s %6.2fx\n",
+					trunc(t.App, 24), t.Stage, t.Task, trunc(t.Exec, 14),
+					kindOrDash(t.Kind), durUS(t.DurUS), durUS(s.MedianUS), ratio)
+			}
+		}
+	} else {
+		fmt.Fprintf(&b, "\nno stragglers detected\n")
+	}
+
+	if len(a.Executors) > 0 {
+		fmt.Fprintf(&b, "\n== executor utilization ==\n")
+		fmt.Fprintf(&b, "%-24s %-14s %-7s %6s %6s  %-40s\n",
+			"app", "exec", "kind", "tasks", "util", "timeline (lifetime over run)")
+		for _, x := range a.Executors {
+			fmt.Fprintf(&b, "%-24s %-14s %-7s %6d %5.1f%%  [%s]\n",
+				trunc(x.App, 24), trunc(x.Exec, 14), kindOrDash(x.Kind),
+				x.Tasks, x.Util*100, timelineBar(x, a.EndUS, 40))
+		}
+	}
+
+	// Lambda-vs-VM split across the whole run.
+	var vmBusy, lamBusy int64
+	var vmTasks, lamTasks int
+	for _, s := range a.Stages {
+		vmBusy += s.VMBusyUS
+		lamBusy += s.LambdaBusy
+		vmTasks += s.VMTasks
+		lamTasks += s.LambdaTask
+	}
+	total := vmBusy + lamBusy
+	if total > 0 {
+		fmt.Fprintf(&b, "\n== backend split ==\n")
+		fmt.Fprintf(&b, "vm:     %6d tasks  %9s busy (%.1f%%)\n",
+			vmTasks, durUS(vmBusy), 100*float64(vmBusy)/float64(total))
+		fmt.Fprintf(&b, "lambda: %6d tasks  %9s busy (%.1f%%)\n",
+			lamTasks, durUS(lamBusy), 100*float64(lamBusy)/float64(total))
+	}
+	return b.String()
+}
+
+// timelineBar renders an executor's lifetime as a width-cell bar over the
+// whole run: '.' before add, '#' while alive, ' ' after removal.
+func timelineBar(x ExecStat, endUS int64, width int) string {
+	if endUS <= 0 {
+		return strings.Repeat("#", width)
+	}
+	cells := make([]byte, width)
+	for i := range cells {
+		lo := int64(i) * endUS / int64(width)
+		hi := (int64(i) + 1) * endUS / int64(width)
+		switch {
+		case hi <= x.AddUS:
+			cells[i] = '.'
+		case lo >= x.RemoveUS:
+			cells[i] = ' '
+		default:
+			cells[i] = '#'
+		}
+	}
+	return string(cells)
+}
+
+func durUS(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.2fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.2fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func kindOrDash(k string) string {
+	if k == "" {
+		return "-"
+	}
+	return k
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"splitserve/internal/cloud"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/workloads/pagerank"
 	"splitserve/internal/workloads/sparkpi"
 )
@@ -264,6 +265,49 @@ func TestRunTelemetryReportDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if !bytes.Equal(a, b) {
 		t.Error("two identical runs produced different telemetry reports")
+	}
+}
+
+// TestRunEventLogDeterministic requires the structured event log to be
+// byte-identical across same-seed runs — the property that makes saved
+// logs trustworthy replay artifacts for splitserve-history.
+func TestRunEventLogDeterministic(t *testing.T) {
+	run := func(seed uint64) []byte {
+		res, err := Run(Scenario{Kind: SSHybridSegue, R: 8, SmallR: 2, Seed: seed,
+			SegueAt: 5 * time.Second}, smallWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := res.Events.JSONL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := run(1), run(1)
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs produced different event logs")
+	}
+	if len(a) == 0 {
+		t.Fatal("event log is empty")
+	}
+	// The stream must round-trip and carry the core lifecycle vocabulary.
+	events, err := eventlog.ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	seen := map[eventlog.Type]bool{}
+	for _, e := range events {
+		seen[e.Type] = true
+	}
+	for _, want := range []eventlog.Type{
+		eventlog.JobStart, eventlog.JobEnd, eventlog.StageStart, eventlog.StageEnd,
+		eventlog.TaskStart, eventlog.TaskEnd, eventlog.ExecutorAdd,
+		eventlog.LambdaInvoke, eventlog.ShuffleWrite,
+	} {
+		if !seen[want] {
+			t.Errorf("event log missing %s events", want)
+		}
 	}
 }
 

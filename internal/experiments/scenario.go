@@ -12,6 +12,7 @@ import (
 	"splitserve/internal/billing"
 	"splitserve/internal/cloud"
 	"splitserve/internal/core"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/hdfs"
 	"splitserve/internal/metrics"
 	"splitserve/internal/netsim"
@@ -87,6 +88,12 @@ type Scenario struct {
 	QuboleLaunchDelay time.Duration
 	// Seed drives all randomness.
 	Seed uint64
+	// Events, when set, receives the run's structured event stream (a
+	// fresh bus is created otherwise; see Result.Events). Sharing one bus
+	// across scenarios interleaves their streams — disambiguate with AppID.
+	Events *eventlog.Bus
+	// AppID overrides the default application ID ("<workload>-<kind>").
+	AppID string
 	// Perf overrides the executor performance model (zero = default).
 	Perf engine.PerfModel
 	// StageOverhead / DispatchCost override the driver overhead model
@@ -135,6 +142,8 @@ type Result struct {
 	// Telem is the run's telemetry hub: every counter, histogram, span and
 	// mark the stack recorded, ready for -report export.
 	Telem *telemetry.Hub
+	// Events is the run's structured event stream (JSONL / Chrome trace).
+	Events *eventlog.Bus
 	// Lambdas/VMExecs are the executor mix that ran.
 	Lambdas int
 	VMExecs int
@@ -165,18 +174,28 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 	clock := simclock.New(simclock.Epoch)
 	net := netsim.New(clock)
 	hub := telemetry.New(clock)
+	bus := sc.Events
+	if bus == nil {
+		bus = eventlog.NewBus(simclock.Epoch)
+	}
+	appID := sc.AppID
+	if appID == "" {
+		appID = fmt.Sprintf("%s-%d", w.Name(), sc.Kind)
+	}
 	provOpts := cloud.DefaultOptions()
 	if sc.VMBootMean > 0 {
 		provOpts.VMBootMean = sc.VMBootMean
 	}
 	provider := cloud.NewProvider(clock, net, simrand.New(sc.Seed+1), provOpts)
 	provider.SetTelemetry(hub)
+	provider.SetEventLog(bus)
 
 	// The long-running master (and, for SplitServe, the colocated HDFS
 	// datanode sharing its EBS bandwidth — the paper's bottleneck story).
 	master := provider.ProvisionReadyVM(sc.MasterVMType)
 	fs := hdfs.NewCluster(clock, net, hdfs.DefaultOptions())
 	fs.SetTelemetry(hub)
+	fs.SetEventLog(bus, appID)
 	fs.AddDataNode("dn-"+master.ID, []*netsim.Pool{master.EBS})
 
 	s3opts := sc.S3
@@ -275,13 +294,14 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 		dispatch = defaultDispatchCost
 	}
 	cluster, err := engine.New(engine.Config{
-		AppID:               fmt.Sprintf("%s-%d", w.Name(), sc.Kind),
+		AppID:               appID,
 		Clock:               clock,
 		Net:                 net,
 		Provider:            provider,
 		Store:               store,
 		Backend:             backend,
 		Telem:               hub,
+		Events:              bus,
 		Alloc:               alloc,
 		Perf:                sc.Perf,
 		SLO:                 w.SLO(),
@@ -309,6 +329,7 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 		Answer:   report.Answer,
 		Log:      cluster.Log(),
 		Telem:    hub,
+		Events:   bus,
 	}
 	for _, e := range cluster.AllExecutors() {
 		switch e.Kind {

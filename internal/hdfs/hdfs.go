@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"splitserve/internal/eventlog"
 	"splitserve/internal/netsim"
 	"splitserve/internal/simclock"
 	"splitserve/internal/storage"
@@ -89,6 +90,26 @@ type Cluster struct {
 	blockSeq int
 	placeRR  int
 	insts    hdfsInstruments
+	bus      *eventlog.Bus
+	eventApp string
+}
+
+// SetEventLog attaches an event-log bus: every completed write and read
+// emits an hdfs_write / hdfs_read event with its byte count at completion
+// time on the virtual clock, tagged app.
+func (c *Cluster) SetEventLog(bus *eventlog.Bus, app string) {
+	c.bus = bus
+	c.eventApp = app
+}
+
+func (c *Cluster) emitIO(t eventlog.Type, bytes int64) {
+	if c.bus == nil {
+		return
+	}
+	ev := eventlog.Ev(t)
+	ev.App = c.eventApp
+	ev.Bytes = bytes
+	c.bus.Emit(c.clock.Now(), ev)
 }
 
 // NewCluster returns an empty filesystem with no datanodes.
@@ -159,6 +180,7 @@ func (c *Cluster) Write(path string, payload any, size int64, cl storage.Client,
 		if err == nil {
 			c.insts.bytesWritten.Add(float64(size))
 			c.insts.writeSecs.ObserveDuration(c.clock.Since(begun))
+			c.emitIO(eventlog.HDFSWrite, size)
 		}
 		inner(err)
 	}
@@ -229,6 +251,7 @@ func (c *Cluster) WriteBatch(files []storage.Block, cl storage.Client, done func
 		if err == nil {
 			c.insts.bytesWritten.Add(float64(batchBytes))
 			c.insts.writeSecs.ObserveDuration(c.clock.Since(begun))
+			c.emitIO(eventlog.HDFSWrite, batchBytes)
 		}
 		inner(err)
 	}
@@ -318,6 +341,7 @@ func (c *Cluster) ReadMany(paths []string, cl storage.Client, done func([]storag
 			}
 			c.insts.bytesRead.Add(float64(total))
 			c.insts.readSecs.ObserveDuration(c.clock.Since(begun))
+			c.emitIO(eventlog.HDFSRead, total)
 		}
 		inner(bs, err)
 	}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"splitserve/internal/eventlog"
 	"splitserve/internal/telemetry"
 )
 
@@ -70,11 +71,13 @@ type Event struct {
 // Log is an append-only event log bridging into a telemetry Hub.
 // The zero value is unusable; call New or NewWithTelemetry.
 type Log struct {
-	start  time.Time
-	hub    *telemetry.Hub
-	app    string
-	events []Event
-	end    time.Time // latest event instant, for clamping open spans
+	start    time.Time
+	hub      *telemetry.Hub
+	app      string
+	events   []Event
+	end      time.Time // latest event instant, for clamping open spans
+	bus      *eventlog.Bus
+	eventApp string
 
 	openTasks  map[taskKey]*telemetry.Span
 	openStages map[int]*telemetry.Span
@@ -131,6 +134,16 @@ func (l *Log) SetApp(app string) { l.app = app }
 // App returns the log's app scope ("" = unscoped).
 func (l *Log) App() string { return l.app }
 
+// SetEventLog mirrors every subsequent Add into bus as structured eventlog
+// events stamped app. The app name is explicit (not taken from SetApp)
+// because event-log scoping is orthogonal to span labeling: a single-job
+// sim wants app-tagged events without growing app labels on its spans,
+// which would change existing report bytes.
+func (l *Log) SetEventLog(bus *eventlog.Bus, app string) {
+	l.bus = bus
+	l.eventApp = app
+}
+
 // attrs appends the app label (when set) to a span's base attributes.
 func (l *Log) attrs(base ...telemetry.Label) []telemetry.Label {
 	if l.app == "" {
@@ -154,7 +167,50 @@ func (l *Log) Add(e Event) error {
 		l.end = e.At
 	}
 	l.bridge(e)
+	l.emitEvent(e)
 	return nil
+}
+
+// kindToEventType maps timeline kinds onto the eventlog vocabulary.
+var kindToEventType = map[Kind]eventlog.Type{
+	JobStart:           eventlog.JobStart,
+	JobEnd:             eventlog.JobEnd,
+	StageStart:         eventlog.StageStart,
+	StageEnd:           eventlog.StageEnd,
+	TaskStart:          eventlog.TaskStart,
+	TaskEnd:            eventlog.TaskEnd,
+	TaskFailed:         eventlog.TaskFailed,
+	ExecutorRegistered: eventlog.ExecutorAdd,
+	ExecutorDraining:   eventlog.ExecutorDrain,
+	ExecutorRemoved:    eventlog.ExecutorRemove,
+	SegueCommence:      eventlog.Segue,
+	VMRequested:        eventlog.VMRequest,
+	VMReady:            eventlog.VMReady,
+	StageResubmitted:   eventlog.StageResubmitted,
+	TaskSpeculated:     eventlog.TaskSpeculated,
+}
+
+// emitEvent forwards one timeline event to the event-log bus (no-op when
+// no bus is attached).
+func (l *Log) emitEvent(e Event) {
+	if l.bus == nil {
+		return
+	}
+	t, ok := kindToEventType[e.Kind]
+	if !ok {
+		return
+	}
+	ev := eventlog.Ev(t)
+	ev.App = l.eventApp
+	ev.Exec = e.Exec
+	ev.Kind = e.ExecKind
+	ev.Stage = e.Stage
+	ev.Task = e.Task
+	ev.Note = e.Note
+	if e.Kind == ExecutorRegistered {
+		ev.Cores = 1 // executors are one core each, as in the paper
+	}
+	l.bus.Emit(e.At, ev)
 }
 
 // bridge translates one event into tracer spans and marks.

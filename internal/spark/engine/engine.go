@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"splitserve/internal/cloud"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/metrics"
 	"splitserve/internal/netsim"
 	"splitserve/internal/simclock"
@@ -72,7 +73,11 @@ type Config struct {
 	// Log's hub (so the event timeline and the metrics share one trace);
 	// nil with no Log means a fresh hub is created.
 	Telem *telemetry.Hub
-	Alloc AllocConfig
+	// Events, when set, receives the structured event stream: the metrics
+	// Log bridges its timeline into it (tagged AppID) and the shuffle
+	// tracker emits read/write events. Nil disables event logging.
+	Events *eventlog.Bus
+	Alloc  AllocConfig
 	// LocalityWait is how long a task holds out for the executor caching
 	// its input before running anywhere (Spark's spark.locality.wait).
 	LocalityWait time.Duration
@@ -192,6 +197,10 @@ func New(cfg Config) (*Cluster, error) {
 		execs:      make(map[string]*Executor),
 		shuffleIDs: make(map[shuffleKey]int),
 		cacheWhere: make(map[cachedPart]string),
+	}
+	if cfg.Events != nil {
+		cfg.Log.SetEventLog(cfg.Events, cfg.AppID)
+		c.tracker.SetEventLog(cfg.Events, cfg.Clock.Now, cfg.AppID)
 	}
 	c.insts = newEngineInstruments(cfg.Telem)
 	c.sched = newScheduler(c)

@@ -11,7 +11,9 @@ package shuffle
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"splitserve/internal/eventlog"
 	"splitserve/internal/spark/rdd"
 )
 
@@ -97,6 +99,10 @@ type shuffleState struct {
 // Tracker is the driver-side map-output tracker.
 type Tracker struct {
 	shuffles map[int]*shuffleState
+
+	bus      *eventlog.Bus
+	busNow   func() time.Time
+	eventApp string
 }
 
 // NewTracker returns an empty tracker.
@@ -123,6 +129,15 @@ func (t *Tracker) Registered(shuffleID int) bool {
 	return ok
 }
 
+// SetEventLog attaches an event-log bus: every registered map output emits
+// a shuffle_write event and every successful fetch spec a shuffle_read,
+// stamped with now() on the virtual clock and tagged app.
+func (t *Tracker) SetEventLog(bus *eventlog.Bus, now func() time.Time, app string) {
+	t.bus = bus
+	t.busNow = now
+	t.eventApp = app
+}
+
 // AddMapOutput records a completed map partition.
 func (t *Tracker) AddMapOutput(shuffleID int, st *MapStatus) {
 	s := t.mustGet(shuffleID)
@@ -130,6 +145,19 @@ func (t *Tracker) AddMapOutput(shuffleID int, st *MapStatus) {
 		panic(fmt.Sprintf("shuffle: map part %d out of range", st.MapPart))
 	}
 	s.status[st.MapPart] = st
+	if t.bus != nil {
+		var total int64
+		for _, sz := range st.Sizes {
+			total += sz
+		}
+		ev := eventlog.Ev(eventlog.ShuffleWrite)
+		ev.App = t.eventApp
+		ev.Exec = st.ExecID
+		ev.Task = st.MapPart
+		ev.Bytes = total
+		ev.Note = fmt.Sprintf("shuffle_%d", shuffleID)
+		t.bus.Emit(t.busNow(), ev)
+	}
 }
 
 // Complete reports whether every map partition has registered output.
@@ -168,6 +196,14 @@ func (t *Tracker) FetchSpec(shuffleID, reducePart int) (ids []string, total int6
 			ids = append(ids, st.BlockIDs[reducePart])
 			total += st.Sizes[reducePart]
 		}
+	}
+	if t.bus != nil {
+		ev := eventlog.Ev(eventlog.ShuffleRead)
+		ev.App = t.eventApp
+		ev.Task = reducePart
+		ev.Bytes = total
+		ev.Note = fmt.Sprintf("shuffle_%d", shuffleID)
+		t.bus.Emit(t.busNow(), ev)
 	}
 	return ids, total, true
 }

@@ -39,7 +39,8 @@ type GaugeSnapshot struct {
 
 // HistogramSnapshot is one histogram's exported state. Buckets are
 // cumulative counts per upper bound, Prometheus-style; the final
-// implicit +Inf bucket equals Count.
+// implicit +Inf bucket equals Count. P50/P95/P99 are quantile estimates
+// by linear interpolation within buckets (see Quantile).
 type HistogramSnapshot struct {
 	Name    string            `json:"name"`
 	Labels  map[string]string `json:"labels,omitempty"`
@@ -47,6 +48,56 @@ type HistogramSnapshot struct {
 	Sum     float64           `json:"sum"`
 	Bounds  []float64         `json:"bounds"`
 	Buckets []uint64          `json:"buckets"`
+	P50     float64           `json:"p50"`
+	P95     float64           `json:"p95"`
+	P99     float64           `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) the way Prometheus'
+// histogram_quantile does: find the bucket containing the target rank and
+// interpolate linearly within it (lower edge 0 for the first bucket). A
+// rank falling in the implicit +Inf bucket clamps to the largest finite
+// bound — the estimator cannot see past it. Returns 0 for an empty
+// histogram.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || len(hs.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	// Buckets may carry one extra entry (the +Inf bucket); only the finite
+	// buckets are interpolable.
+	for i := 0; i < len(hs.Buckets) && i < len(hs.Bounds); i++ {
+		c := hs.Buckets[i]
+		if float64(c) < rank {
+			continue
+		}
+		lo := 0.0
+		var prev uint64
+		if i > 0 {
+			lo = hs.Bounds[i-1]
+			prev = hs.Buckets[i-1]
+		}
+		hi := hs.Bounds[i]
+		in := float64(c - prev)
+		if in == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/in
+	}
+	return hs.Bounds[len(hs.Bounds)-1]
+}
+
+// fillQuantiles populates the snapshot's P50/P95/P99 estimates.
+func (hs *HistogramSnapshot) fillQuantiles() {
+	hs.P50 = hs.Quantile(0.50)
+	hs.P95 = hs.Quantile(0.95)
+	hs.P99 = hs.Quantile(0.99)
 }
 
 // SpanSnapshot is one span's exported state. Start/End are microsecond
@@ -135,14 +186,7 @@ func (h *Hub) Report() *Report {
 		})
 	}
 	for _, hst := range hists {
-		rep.Histograms = append(rep.Histograms, HistogramSnapshot{
-			Name:    hst.name,
-			Labels:  labelMap(hst.labels),
-			Count:   hst.Count(),
-			Sum:     hst.Sum(),
-			Bounds:  hst.Bounds(),
-			Buckets: cumulative(hst.BucketCounts()),
-		})
+		rep.Histograms = append(rep.Histograms, hst.Snapshot())
 	}
 
 	origin := h.tr.Origin()
@@ -171,6 +215,24 @@ func (h *Hub) Report() *Report {
 		})
 	}
 	return rep
+}
+
+// Snapshot exports the histogram's current state, including quantile
+// estimates. Nil-safe (a zero-valued snapshot on a nil handle).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	hs := HistogramSnapshot{
+		Name:    h.name,
+		Labels:  labelMap(h.labels),
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Bounds:  h.Bounds(),
+		Buckets: cumulative(h.BucketCounts()),
+	}
+	hs.fillQuantiles()
+	return hs
 }
 
 // cumulative converts per-bucket counts to cumulative counts.
@@ -228,6 +290,17 @@ func (h *Hub) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		if err := writeProm(w, hs.Name, hs.Labels, "_count", float64(hs.Count)); err != nil {
+			return err
+		}
+		// Quantile estimates as suffixed gauges (not {quantile=...} labels,
+		// which would read as a native summary type to scrapers).
+		if err := writeProm(w, hs.Name, hs.Labels, "_p50", hs.P50); err != nil {
+			return err
+		}
+		if err := writeProm(w, hs.Name, hs.Labels, "_p95", hs.P95); err != nil {
+			return err
+		}
+		if err := writeProm(w, hs.Name, hs.Labels, "_p99", hs.P99); err != nil {
 			return err
 		}
 	}

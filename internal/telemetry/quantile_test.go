@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestQuantileUniform checks the estimator against a uniform distribution:
+// 100 observations evenly spread over (0, 100] with bounds every 10 —
+// linear interpolation should recover the exact quantiles (to bucket
+// resolution).
+func TestQuantileUniform(t *testing.T) {
+	hub := New(testClock(origin))
+	h := hub.Histogram("uniform", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	hs := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {0.10, 10}, {1.00, 100},
+	} {
+		if got := hs.Quantile(tc.q); !almostEqual(got, tc.want, 1.0) {
+			t.Errorf("uniform q=%.2f: got %.2f want %.2f", tc.q, got, tc.want)
+		}
+	}
+	if hs.P50 != hs.Quantile(0.50) || hs.P95 != hs.Quantile(0.95) || hs.P99 != hs.Quantile(0.99) {
+		t.Error("snapshot P50/P95/P99 disagree with Quantile()")
+	}
+}
+
+// TestQuantileSkewed puts 90 observations in the first bucket and 10 in
+// the last: p50 interpolates inside the first bucket, p99 inside the last.
+func TestQuantileSkewed(t *testing.T) {
+	hub := New(testClock(origin))
+	h := hub.Histogram("skewed", []float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	hs := h.Snapshot()
+	// p50: rank 50 of 90 in bucket (0,1] -> 50/90 of the way through.
+	if got, want := hs.Quantile(0.50), 50.0/90.0; !almostEqual(got, want, 1e-9) {
+		t.Errorf("skewed p50: got %v want %v", got, want)
+	}
+	// p99: rank 99; first 90 in bucket 1, so 9/10 into bucket (10,100].
+	if got, want := hs.Quantile(0.99), 10+90*0.9; !almostEqual(got, want, 1e-9) {
+		t.Errorf("skewed p99: got %v want %v", got, want)
+	}
+}
+
+// TestQuantileOverflowClamps puts mass past the last finite bound: the
+// estimate clamps there rather than extrapolating to +Inf.
+func TestQuantileOverflowClamps(t *testing.T) {
+	hub := New(testClock(origin))
+	h := hub.Histogram("overflow", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // all in the +Inf bucket
+	}
+	hs := h.Snapshot()
+	if got := hs.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99: got %v want 2 (clamped to largest finite bound)", got)
+	}
+}
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	hub := New(testClock(origin))
+	h := hub.Histogram("empty", []float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile: got %v want 0", got)
+	}
+	var nilH *Histogram
+	if hs := nilH.Snapshot(); hs.Count != 0 || hs.Quantile(0.5) != 0 {
+		t.Error("nil histogram Snapshot should be zero-valued")
+	}
+}
+
+// TestQuantilesInReports asserts the estimates surface in both exporters.
+func TestQuantilesInReports(t *testing.T) {
+	hub := New(testClock(origin))
+	h := hub.Histogram("latency_q_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	data, err := hub.Report().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("JSON report missing %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := hub.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"latency_q_seconds_p50 ", "latency_q_seconds_p95 ", "latency_q_seconds_p99 "} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("prometheus output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

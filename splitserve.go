@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"splitserve/internal/cloud"
+	"splitserve/internal/eventlog"
 	"splitserve/internal/experiments"
 	"splitserve/internal/workloads"
 	"splitserve/internal/workloads/kmeans"
@@ -173,6 +174,25 @@ func (r *Result) ReportJSON() ([]byte, error) {
 // text exposition format.
 func (r *Result) ReportPrometheus(w io.Writer) error {
 	return r.inner.Telem.WritePrometheus(w)
+}
+
+// EventLogJSONL returns the run's structured event stream as JSONL (one
+// event per line, byte-identical across same-seed runs). Replay it with
+// cmd/splitserve-history.
+func (r *Result) EventLogJSONL() ([]byte, error) {
+	return r.inner.Events.JSONL()
+}
+
+// ChromeTrace renders the run's event stream as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+func (r *Result) ChromeTrace() ([]byte, error) {
+	return eventlog.ChromeTrace(r.inner.Events.Events())
+}
+
+// Events returns the run's raw event stream in emission order, for
+// programmatic analysis (see internal/eventlog.Analyze).
+func (r *Result) Events() []eventlog.Event {
+	return r.inner.Events.Events()
 }
 
 // String summarises the result.
