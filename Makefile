@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race sim bench smoke
+.PHONY: build test check vet race fuzz sim bench smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the full pre-commit gate: static analysis plus the whole test
-# suite under the race detector, then the event-log smoke round-trip.
+# fuzz gives each native fuzz target a short budget — enough to catch
+# parser panics without turning CI into a fuzzing farm.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzParseArrivals -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cliutil -run '^$$' -fuzz FuzzValidateReport -fuzztime $(FUZZTIME)
+
+# check is the full pre-commit gate: static analysis, the whole test suite
+# under the race detector (twice, to shake out ordering dependence), a
+# short fuzz budget per target, then the event-log smoke round-trip.
 check:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) test -race -count=2 ./...
+	$(MAKE) fuzz
 	$(MAKE) smoke
 
 # smoke round-trips the observability pipeline: run a small cluster day,

@@ -98,11 +98,14 @@ func run() int {
 		slo      = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
 		pool     = flag.Int("pool", 16, "shared VM pool size in cores")
 		cores    = flag.Int("cores", 8, "per-job core demand R")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		report   = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
-		compare  = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
-		eventLog = flag.String("eventlog", "", cliutil.EventLogUsage)
-		trace    = flag.String("trace", "", cliutil.TraceUsage)
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		report    = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
+		compare   = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+		scaledown = flag.Duration("scaledown", 0, "release autoscale-procured VMs idle for this long back to the provider (0 disables)")
+		admission = flag.String("admission", "greedy", "admission policy: greedy | deadline (delay or shed jobs whose SLO is unattainable)")
+		elastic   = flag.Bool("elastic", false, "run the elasticity comparison: keep-forever vs -scaledown vs -scaledown plus deadline admission")
+		eventLog  = flag.String("eventlog", "", cliutil.EventLogUsage)
+		trace     = flag.String("trace", "", cliutil.TraceUsage)
 	)
 	flag.Parse()
 
@@ -122,6 +125,21 @@ func run() int {
 		return 0
 	}
 
+	if *elastic {
+		idle := *scaledown
+		if idle <= 0 {
+			idle = 45 * time.Second
+		}
+		reps, err := experiments.ClusterElasticity(*seed, idle)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		fmt.Println("== elasticity: keep-forever vs idle scale-down vs deadline admission ==")
+		fmt.Print(experiments.FormatClusterElasticity(reps))
+		return 0
+	}
+
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
@@ -137,6 +155,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 2
 	}
+	adm, err := cluster.AdmissionByName(*admission)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	if *scaledown < 0 {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -scaledown %s (0 disables)\n", *scaledown)
+		return 2
+	}
 	arrivals, err := cluster.ParseArrivals(*arrival, *jobs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
@@ -149,12 +176,14 @@ func run() int {
 	}
 
 	s, err := cluster.New(cluster.Config{
-		Jobs:      specs,
-		PoolCores: *pool,
-		Policy:    pol,
-		Strategy:  strat,
-		SLOFactor: *slo,
-		Seed:      *seed,
+		Jobs:          specs,
+		PoolCores:     *pool,
+		Policy:        pol,
+		Strategy:      strat,
+		SLOFactor:     *slo,
+		Seed:          *seed,
+		Admission:     adm,
+		ScaleDownIdle: *scaledown,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)

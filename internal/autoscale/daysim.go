@@ -72,6 +72,12 @@ type DayConfig struct {
 	SLOFactor float64
 	// VMBoot is the autoscale procurement delay.
 	VMBoot time.Duration
+	// KeepProcured bills autoscale-procured capacity from each job's
+	// arrival to the end of the day instead of just the job's runtime —
+	// the keep-forever counterfactual of the cluster layer's idle-timeout
+	// scale-down. The default (false) models perfect scale-down: capacity
+	// is paid only while the job that procured it runs.
+	KeepProcured bool
 	// HybridSlowdown is the execution-time multiplier when a job's
 	// shortfall is lambda-bridged (measured ~1.05-1.2 in Figures 5/6).
 	HybridSlowdown float64
@@ -114,6 +120,10 @@ type DayResult struct {
 	// MeanStretch is the mean job slowdown relative to full provisioning.
 	MeanStretch float64
 	P99Stretch  float64
+	// AutoscaleVMHours is the billed vCPU-hours of procured-on-demand
+	// capacity (fluid, so fractional); with KeepProcured it grows to the
+	// end of the day and the gap to the default is what scale-down saves.
+	AutoscaleVMHours float64
 	// Costs.
 	VMBaseUSD      float64 // the policy's provisioned fleet
 	VMAutoscaleUSD float64 // procured-on-demand VMs
@@ -242,9 +252,14 @@ func SimulateDayTrace(cfg DayConfig, arrivals []time.Duration) DayResult {
 			} else {
 				stretch = (boot + (jobSec - workDone)) / jobSec
 			}
-			res.VMAutoscaleUSD += billing.VMCost(
-				cfg.VCPUPricePerHour*shortfall,
-				time.Duration(stretch*jobSec*float64(time.Second)))
+			billed := time.Duration(stretch * jobSec * float64(time.Second))
+			if cfg.KeepProcured {
+				if rem := time.Duration(series.Len())*step - at; rem > billed {
+					billed = rem
+				}
+			}
+			res.VMAutoscaleUSD += billing.VMCost(cfg.VCPUPricePerHour*shortfall, billed)
+			res.AutoscaleVMHours += shortfall * billed.Hours()
 		case cfg.Strategy == StrategyBridge:
 			stretch = cfg.HybridSlowdown
 			lambdaSecs := stretch * jobSec * shortfall

@@ -174,3 +174,33 @@ func TestDayArrivalsSplitEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestKeepProcuredRaisesAutoscaleCost: the keep-forever counterfactual
+// must bill strictly more procured vCPU-hours (and dollars) than the
+// default perfect-scale-down accounting, while leaving job outcomes —
+// which only depend on when capacity arrives, not how long it is kept —
+// byte-for-byte identical.
+func TestKeepProcuredRaisesAutoscaleCost(t *testing.T) {
+	cfg := DefaultDayConfig(StrategyAutoscale, 0)
+	cfg.Seed = 41
+	arrivals := DayArrivals(cfg)
+	perfect := SimulateDayTrace(cfg, arrivals)
+	if perfect.AutoscaleVMHours <= 0 || perfect.VMAutoscaleUSD <= 0 {
+		t.Fatalf("no procurement simulated: %+v", perfect)
+	}
+	keepCfg := cfg
+	keepCfg.KeepProcured = true
+	kept := SimulateDayTrace(keepCfg, arrivals)
+	if kept.AutoscaleVMHours <= perfect.AutoscaleVMHours {
+		t.Errorf("keep-forever vCPU-hours %.3f not above perfect scale-down %.3f",
+			kept.AutoscaleVMHours, perfect.AutoscaleVMHours)
+	}
+	if kept.VMAutoscaleUSD <= perfect.VMAutoscaleUSD {
+		t.Errorf("keep-forever cost $%.4f not above perfect scale-down $%.4f",
+			kept.VMAutoscaleUSD, perfect.VMAutoscaleUSD)
+	}
+	if kept.SLOViolations != perfect.SLOViolations ||
+		kept.MeanStretch != perfect.MeanStretch || kept.P99Stretch != perfect.P99Stretch {
+		t.Errorf("capacity retention changed job outcomes:\nkeep    %+v\nperfect %+v", kept, perfect)
+	}
+}

@@ -44,6 +44,19 @@ func VMCost(pricePerHour float64, d time.Duration) float64 {
 	return pricePerHour / 3600 * seconds
 }
 
+// VMSavings returns the on-demand cost avoided by releasing an instance
+// early: the difference between billing it for the counterfactual
+// keep-until duration and for the actual uptime. Both legs go through
+// VMCost, so the 60 s minimum applies to each; the result is clamped at
+// zero (releasing "early" inside the minimum saves nothing).
+func VMSavings(pricePerHour float64, actual, counterfactual time.Duration) float64 {
+	saved := VMCost(pricePerHour, counterfactual) - VMCost(pricePerHour, actual)
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}
+
 // VMCoreCost returns the cost attributable to a subset of an instance's
 // cores for duration d, the proportional attribution the paper uses when a
 // job occupies only some cores of a shared VM.

@@ -182,3 +182,19 @@ func TestQuickLambdaMemoryLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVMSavings(t *testing.T) {
+	// Releasing 30 min into a 60-min counterfactual saves half the hour.
+	got := VMSavings(3.6, 30*time.Minute, time.Hour)
+	if !approx(got, VMCost(3.6, time.Hour)-VMCost(3.6, 30*time.Minute), 1e-12) {
+		t.Fatalf("VMSavings(30m of 1h) = %v", got)
+	}
+	// Inside the 60 s minimum both legs bill the same — nothing saved.
+	if got := VMSavings(3.6, 10*time.Second, 50*time.Second); got != 0 {
+		t.Fatalf("VMSavings inside minimum = %v, want 0", got)
+	}
+	// Actual beyond the counterfactual clamps at zero, never negative.
+	if got := VMSavings(3.6, 2*time.Hour, time.Hour); got != 0 {
+		t.Fatalf("VMSavings(actual > counterfactual) = %v, want 0", got)
+	}
+}

@@ -28,6 +28,32 @@ func TestValidateReport(t *testing.T) {
 	}
 }
 
+// FuzzValidateReport: the -report validator must never panic and must
+// either accept a known format or return an error naming the accepted
+// vocabulary — the property every command's flag handling relies on.
+func FuzzValidateReport(f *testing.F) {
+	for _, s := range []string{"", "json", "prom", "yaml", "JSON", "j\x00son", "promjson"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, format string) {
+		err := ValidateReport(format)
+		known := format == ""
+		for _, f := range ReportFormats {
+			known = known || format == f
+		}
+		if known && err != nil {
+			t.Errorf("ValidateReport(%q) rejected a known format: %v", format, err)
+		}
+		if !known {
+			if err == nil {
+				t.Errorf("ValidateReport(%q) accepted an unknown format", format)
+			} else if !strings.Contains(err.Error(), "accepted:") {
+				t.Errorf("ValidateReport(%q) error %q does not list accepted formats", format, err)
+			}
+		}
+	})
+}
+
 func testEvents(t *testing.T) []eventlog.Event {
 	t.Helper()
 	origin := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)

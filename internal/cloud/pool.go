@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"fmt"
 	"time"
 
 	"splitserve/internal/eventlog"
@@ -23,19 +24,43 @@ type CorePool struct {
 	coresInUse *telemetry.Gauge
 	bus        *eventlog.Bus
 	busNow     func() time.Time
+	now        func() time.Time
 }
 
 // SetEventLog attaches an event-log bus; each Acquire emits one core_lease
 // event (Cores = granted count, App = owner) and each lease Release a
-// core_release, stamped with now() on the virtual clock.
+// core_release, stamped with now() on the virtual clock. The clock also
+// drives idle tracking (see SetClock).
 func (p *CorePool) SetEventLog(bus *eventlog.Bus, now func() time.Time) {
 	p.bus = bus
 	p.busNow = now
+	if p.now == nil {
+		p.SetClock(now)
+	}
+}
+
+// SetClock attaches a virtual-time source so the pool can track, per VM,
+// how long the instance has been fully idle (no leased cores) — the input
+// to the scheduler's idle-timeout scale-down. Without a clock, IdleSince
+// reports nothing and scale-down is inert.
+func (p *CorePool) SetClock(now func() time.Time) {
+	p.now = now
+	if now == nil {
+		return
+	}
+	for _, e := range p.vms {
+		if e.used == 0 && e.idleSince.IsZero() {
+			e.idleSince = now()
+		}
+	}
 }
 
 type pooledVM struct {
 	vm   *VM
 	used int
+	// idleSince is when the instance last became fully idle (used == 0);
+	// zero while any core is leased or when the pool has no clock.
+	idleSince time.Time
 }
 
 // CoreLease is a claim on one core of one pool VM. Release returns the
@@ -61,6 +86,9 @@ func (l *CoreLease) Release() {
 	l.released = true
 	l.entry.used--
 	l.pool.coresInUse.Dec()
+	if l.entry.used == 0 && l.pool.now != nil {
+		l.entry.idleSince = l.pool.now()
+	}
 	if p := l.pool; p.bus != nil {
 		ev := eventlog.Ev(eventlog.CoreRelease)
 		ev.App = l.owner
@@ -91,8 +119,81 @@ func (p *CorePool) SetTelemetry(h *telemetry.Hub) {
 // AddVM grows the pool with a (ready) instance — pre-provisioned fleet at
 // start, or autoscale procurements as they boot.
 func (p *CorePool) AddVM(vm *VM) {
-	p.vms = append(p.vms, &pooledVM{vm: vm})
+	e := &pooledVM{vm: vm}
+	if p.now != nil {
+		e.idleSince = p.now()
+	}
+	p.vms = append(p.vms, e)
 	p.coresTotal.Add(float64(vm.Type.VCPUs))
+}
+
+// RemoveVM takes a fully idle instance out of the pool (the scale-down
+// path). It refuses — returning false — while any core of the instance is
+// leased, so in-flight leases can never be orphaned; the caller decides
+// what to do with the instance afterwards (typically terminate it).
+func (p *CorePool) RemoveVM(vm *VM) bool {
+	for i, e := range p.vms {
+		if e.vm != vm {
+			continue
+		}
+		if e.used > 0 {
+			return false
+		}
+		p.vms = append(p.vms[:i], p.vms[i+1:]...)
+		if e.vm.State == VMReady {
+			p.coresTotal.Add(-float64(vm.Type.VCPUs))
+		}
+		return true
+	}
+	return false
+}
+
+// UsedOn returns how many cores of vm are currently leased (0 if the
+// instance is not pooled).
+func (p *CorePool) UsedOn(vm *VM) int {
+	for _, e := range p.vms {
+		if e.vm == vm {
+			return e.used
+		}
+	}
+	return 0
+}
+
+// IdleSince reports when vm last became fully idle. ok is false while any
+// core is leased, when the instance is not pooled, or when the pool has no
+// clock (SetClock / SetEventLog never called).
+func (p *CorePool) IdleSince(vm *VM) (time.Time, bool) {
+	for _, e := range p.vms {
+		if e.vm == vm {
+			if e.used > 0 || e.idleSince.IsZero() {
+				return time.Time{}, false
+			}
+			return e.idleSince, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// CheckInvariants verifies the pool's conservation laws: every per-VM
+// lease count sits in [0, VCPUs], only ready instances hold leases, and
+// free + leased cores equal capacity. Property tests call it at every
+// event of a run; any violation is a scheduler bug, not a workload
+// condition.
+func (p *CorePool) CheckInvariants() error {
+	for _, e := range p.vms {
+		if e.used < 0 || e.used > e.vm.Type.VCPUs {
+			return fmt.Errorf("cloud: pool VM %s has %d leased cores of %d",
+				e.vm.ID, e.used, e.vm.Type.VCPUs)
+		}
+		if e.used > 0 && e.vm.State != VMReady {
+			return fmt.Errorf("cloud: pool VM %s is %s but holds %d leases",
+				e.vm.ID, e.vm.State, e.used)
+		}
+	}
+	if free, used, cap := p.Free(), p.InUse(), p.Capacity(); free+used != cap || free < 0 {
+		return fmt.Errorf("cloud: pool free %d + leased %d != capacity %d", free, used, cap)
+	}
+	return nil
 }
 
 // VMs returns the pooled instances in the order they were added.
@@ -140,6 +241,7 @@ func (p *CorePool) Acquire(owner string, n int) []*CoreLease {
 		}
 		for e.used < e.vm.Type.VCPUs && len(out) < n {
 			e.used++
+			e.idleSince = time.Time{}
 			p.coresInUse.Inc()
 			out = append(out, &CoreLease{pool: p, entry: e, owner: owner})
 		}

@@ -72,3 +72,65 @@ func TestCorePoolIgnoresPendingAndTerminatedVMs(t *testing.T) {
 		t.Fatalf("capacity after terminate = %d, want 2", got)
 	}
 }
+
+func TestCorePoolIdleTrackingAndRemoveVM(t *testing.T) {
+	p, pool := poolFixture(t, M4XLarge, M4Large)
+	clock := p.Clock()
+	pool.SetClock(clock.Now)
+	vm0, vm1 := pool.VMs()[0], pool.VMs()[1]
+
+	// Both instances start idle from the instant the clock attached.
+	if _, ok := pool.IdleSince(vm0); !ok {
+		t.Fatal("fresh pooled VM not reported idle")
+	}
+	leases := pool.Acquire("job", 5) // fills vm0, one core of vm1
+	if _, ok := pool.IdleSince(vm0); ok {
+		t.Error("leased VM still reported idle")
+	}
+	if got := pool.UsedOn(vm1); got != 1 {
+		t.Fatalf("UsedOn(vm1) = %d, want 1", got)
+	}
+
+	// A partially leased instance cannot be removed.
+	if pool.RemoveVM(vm1) {
+		t.Fatal("RemoveVM succeeded on an instance holding a lease")
+	}
+	clock.RunFor(30 * time.Second)
+	leases[4].Release() // vm1 fully idle again, from t=30s
+	since, ok := pool.IdleSince(vm1)
+	if !ok || !since.Equal(clock.Now()) {
+		t.Fatalf("IdleSince(vm1) = %v, %v; want now", since, ok)
+	}
+	// Re-acquiring resets the idle clock (vm0 is full, so the grant lands
+	// on vm1 and clears its idleSince); releasing restarts it from now.
+	extra := pool.Acquire("job2", 1)
+	if extra[0].VM() != vm1 {
+		t.Fatalf("acquire landed on %s, want vm1", extra[0].VM().ID)
+	}
+	if _, ok := pool.IdleSince(vm1); ok {
+		t.Error("re-leased VM still reported idle")
+	}
+	extra[0].Release()
+	if since, ok := pool.IdleSince(vm1); !ok || !since.Equal(clock.Now()) {
+		t.Fatalf("IdleSince after re-release = %v, %v; want now", since, ok)
+	}
+
+	if err := pool.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	if !pool.RemoveVM(vm1) {
+		t.Fatal("RemoveVM refused a fully idle instance")
+	}
+	if got := pool.Capacity(); got != 4 {
+		t.Fatalf("capacity after removal = %d, want 4", got)
+	}
+	if pool.RemoveVM(vm1) {
+		t.Fatal("RemoveVM succeeded twice for the same instance")
+	}
+	if _, ok := pool.IdleSince(vm1); ok {
+		t.Error("removed VM still reported idle")
+	}
+	if err := pool.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants after removal: %v", err)
+	}
+}

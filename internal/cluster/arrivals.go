@@ -22,6 +22,9 @@ import (
 // Offsets are returned sorted ascending. The draw is deterministic in
 // (spec, n, seed).
 func ParseArrivals(spec string, n int, seed uint64) ([]time.Duration, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cluster: negative job count %d", n)
+	}
 	kind, arg, _ := strings.Cut(spec, ":")
 	switch kind {
 	case "poisson":

@@ -92,6 +92,17 @@ type Config struct {
 	// SLOFactor: a job violates its SLO when it finishes later than
 	// arrival + SLOFactor × Baseline.
 	SLOFactor float64
+	// Admission selects the admission policy (default AdmissionGreedy);
+	// AdmissionDeadline delays or sheds jobs whose SLO is unattainable.
+	Admission Admission
+	// ScaleDownIdle, when > 0, releases autoscale-procured VMs back to
+	// the provider after they have been fully idle this long (0 keeps
+	// them pooled for the rest of the run, the pre-elasticity behavior).
+	ScaleDownIdle time.Duration
+	// HybridSlowdown is the fluid-model execution multiplier of a bridged
+	// job, used by deadline admission's ETA (default 1.10, matching the
+	// calibrated daysim constant).
+	HybridSlowdown float64
 	// LambdaMemoryMB sizes bridged Lambda executors (default 1536).
 	LambdaMemoryMB int
 	// VMBootOverride pins the boot delay of autoscale-procured VMs
@@ -109,6 +120,8 @@ const (
 	jobRunning
 	jobDone
 	jobFailed
+	// jobShed: rejected by deadline-aware admission before running.
+	jobShed
 )
 
 // coroutine is one job's workload goroutine. Exactly one goroutine — the
@@ -151,6 +164,11 @@ type job struct {
 	report *workloads.Report
 	err    error
 
+	// delayed records that deadline admission held the job back at least
+	// once; shedReason is set when admission rejected it outright.
+	delayed    bool
+	shedReason string
+
 	jobSpan   *telemetry.Span
 	queueSpan *telemetry.Span
 }
@@ -167,8 +185,11 @@ type clusterInstruments struct {
 	jobsArrived   *telemetry.Counter
 	jobsCompleted *telemetry.Counter
 	jobsFailed    *telemetry.Counter
+	jobsShed      *telemetry.Counter
+	jobsDelayed   *telemetry.Counter
 	sloViolations *telemetry.Counter
 	segueGrants   *telemetry.Counter
+	vmsReleased   *telemetry.Counter
 	jobsQueued    *telemetry.Gauge
 	jobsRunning   *telemetry.Gauge
 	queueWait     *telemetry.Histogram
@@ -180,8 +201,11 @@ func newClusterInstruments(h *telemetry.Hub) *clusterInstruments {
 		jobsArrived:   h.Counter("cluster_jobs_arrived_total"),
 		jobsCompleted: h.Counter("cluster_jobs_completed_total"),
 		jobsFailed:    h.Counter("cluster_jobs_failed_total"),
+		jobsShed:      h.Counter("cluster_jobs_shed_total"),
+		jobsDelayed:   h.Counter("cluster_jobs_delayed_total"),
 		sloViolations: h.Counter("cluster_slo_violations_total"),
 		segueGrants:   h.Counter("cluster_segue_core_grants_total"),
+		vmsReleased:   h.Counter("cluster_vms_released_idle_total"),
 		jobsQueued:    h.Gauge("cluster_jobs_queued"),
 		jobsRunning:   h.Gauge("cluster_jobs_running"),
 		// Queue waits in a busy cluster run to minutes or hours, well past
@@ -216,6 +240,8 @@ type Scheduler struct {
 	// pendingProcureCores tracks autoscale requests in flight so one
 	// shortfall doesn't procure twice.
 	pendingProcureCores int
+	// scaleCheck marks procured VMs with an idle-timeout check pending.
+	scaleCheck map[string]bool
 
 	kicked bool
 	ran    bool
@@ -238,6 +264,18 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.SLOFactor == 0 {
 		cfg.SLOFactor = 1.5
+	}
+	if cfg.Admission == 0 {
+		cfg.Admission = AdmissionGreedy
+	}
+	if cfg.ScaleDownIdle < 0 {
+		return nil, errors.New("cluster: ScaleDownIdle must be >= 0")
+	}
+	if cfg.HybridSlowdown == 0 {
+		cfg.HybridSlowdown = 1.10
+	}
+	if cfg.HybridSlowdown < 1 {
+		return nil, errors.New("cluster: HybridSlowdown must be >= 1")
 	}
 	if cfg.LambdaMemoryMB == 0 {
 		cfg.LambdaMemoryMB = 1536
@@ -289,6 +327,7 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg: cfg, clock: clock, net: net, hub: hub,
 		provider: provider, fs: fs, pool: pool, bus: bus,
 		insts: newClusterInstruments(hub), baseVMs: baseVMs,
+		scaleCheck: make(map[string]bool),
 	}
 	for i, spec := range cfg.Jobs {
 		if spec.Name == "" {
@@ -362,7 +401,7 @@ func (s *Scheduler) Run() (*Report, error) {
 
 func (s *Scheduler) allSettled() bool {
 	for _, j := range s.jobs {
-		if j.phase != jobDone && j.phase != jobFailed {
+		if j.phase != jobDone && j.phase != jobFailed && j.phase != jobShed {
 			return false
 		}
 	}
@@ -429,11 +468,18 @@ func (s *Scheduler) schedule() {
 		}
 	}
 
-	// Admit queued jobs whose entitlement reached one core. Bridge admits
-	// unconditionally: the launching facility covers any shortfall with
-	// Δ = R − r Lambdas, so there is nothing to queue for.
+	// Admit queued jobs. Greedy admits once the entitlement reaches one
+	// core (bridge unconditionally: the launching facility covers any
+	// shortfall with Δ = R − r Lambdas, so there is nothing to queue
+	// for); deadline-aware admission instead asks whether the SLO is
+	// still attainable, delaying or shedding jobs that cannot make it.
 	for _, j := range active {
-		if j.phase == jobQueued && (j.target >= 1 || s.cfg.Strategy == StrategyBridge) {
+		if j.phase != jobQueued {
+			continue
+		}
+		if s.cfg.Admission == AdmissionDeadline {
+			s.considerAdmission(j)
+		} else if j.target >= 1 || s.cfg.Strategy == StrategyBridge {
 			s.admit(j)
 		}
 	}
@@ -477,6 +523,9 @@ func (s *Scheduler) schedule() {
 	if s.cfg.Strategy == StrategyAutoscale {
 		unmet := 0
 		for _, j := range active {
+			if !j.active() { // shed by deadline admission this pass
+				continue
+			}
 			held := 0
 			if j.phase == jobRunning {
 				held = j.backend.coresHeld()
@@ -502,6 +551,8 @@ func (s *Scheduler) schedule() {
 			})
 		}
 	}
+
+	s.armScaleDown()
 }
 
 func (s *Scheduler) updateGauges() {

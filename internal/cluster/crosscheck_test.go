@@ -107,3 +107,111 @@ func TestStrategyOrderingMatchesFluidDaysim(t *testing.T) {
 		}
 	}
 }
+
+// TestScaleDownEconomicsCrosscheck verifies the fluid day model and the
+// discrete-event scheduler agree on the economics of releasing idle
+// procured capacity: relative to keeping procurements for the rest of the
+// run, scale-down lowers autoscale VM-hours strictly, leaves SLO
+// violations untouched (the fluid model's stretch never depends on how
+// long capacity is kept), and moves the DES's p99 queue wait by no more
+// than 10% + 1 s (the stated bound: released capacity can only cost a
+// later arrival one procurement boot, and the queued-job guard prevents
+// releasing under a backlog).
+func TestScaleDownEconomicsCrosscheck(t *testing.T) {
+	series := autoscale.DefaultSeriesConfig()
+	series.Horizon = 30 * time.Minute
+	series.Step = 2 * time.Minute
+	series.BaseCores = 8
+	series.PeakCores = 8
+	series.SigmaFraction = 0.5
+	series.Seed = 12
+
+	const (
+		jobCores  = 4
+		poolCores = 5
+		policyK   = -0.75
+		sloFactor = 1.6
+		vmBoot    = 60 * time.Second
+	)
+
+	base, err := Baseline(piJob(16, 15), jobCores, 9)
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+
+	day := autoscale.DayConfig{
+		Series:           series,
+		PolicyK:          policyK,
+		Strategy:         StrategyAutoscale,
+		JobCores:         jobCores,
+		JobDuration:      base,
+		SLOFactor:        sloFactor,
+		VMBoot:           vmBoot,
+		HybridSlowdown:   1.10,
+		VCPUPricePerHour: 0.05,
+		LambdaMemGB:      1.5,
+		Seed:             12,
+	}
+	arrivals := autoscale.DayArrivals(day)
+
+	// Fluid layer: perfect scale-down (the default) vs keep-forever.
+	perfect := autoscale.SimulateDayTrace(day, arrivals)
+	keepCfg := day
+	keepCfg.KeepProcured = true
+	kept := autoscale.SimulateDayTrace(keepCfg, arrivals)
+	if perfect.AutoscaleVMHours <= 0 {
+		t.Fatal("fluid autoscale procured nothing; trace cannot exercise scale-down")
+	}
+	if kept.AutoscaleVMHours <= perfect.AutoscaleVMHours {
+		t.Errorf("fluid: keep-forever %.3f vCPU-h not above scale-down %.3f",
+			kept.AutoscaleVMHours, perfect.AutoscaleVMHours)
+	}
+	if kept.SLOViolations != perfect.SLOViolations {
+		t.Errorf("fluid: capacity retention changed violations: %d vs %d",
+			kept.SLOViolations, perfect.SLOViolations)
+	}
+
+	// DES layer: same trace, idle-timeout scale-down vs keep-forever.
+	runDES := func(idle time.Duration) *Report {
+		jobs := make([]JobSpec, len(arrivals))
+		for i, at := range arrivals {
+			jobs[i] = JobSpec{
+				Workload: piJob(16, 15),
+				Cores:    jobCores,
+				Arrival:  at,
+				Baseline: base,
+			}
+		}
+		return runCluster(t, Config{
+			Jobs:           jobs,
+			PoolCores:      poolCores,
+			Policy:         FairShare(),
+			Strategy:       StrategyAutoscale,
+			SLOFactor:      sloFactor,
+			VMBootOverride: vmBoot,
+			Seed:           12,
+			ScaleDownIdle:  idle,
+		})
+	}
+	keepDES := runDES(0)
+	scaleDES := runDES(45 * time.Second)
+	t.Logf("fluid vCPU-h: keep=%.3f perfect=%.3f | des vm-h: keep=%.3f scale=%.3f (released %d, saved $%.4f), p99 wait keep=%s scale=%s",
+		kept.AutoscaleVMHours, perfect.AutoscaleVMHours,
+		keepDES.VMHours, scaleDES.VMHours, scaleDES.VMsReleasedIdle, scaleDES.VMScaledownSavedUSD,
+		time.Duration(keepDES.QueueWaitP99US)*time.Microsecond,
+		time.Duration(scaleDES.QueueWaitP99US)*time.Microsecond)
+	if scaleDES.VMsReleasedIdle == 0 {
+		t.Fatalf("DES scale-down released nothing over %d arrivals", len(arrivals))
+	}
+	if scaleDES.VMHours >= keepDES.VMHours {
+		t.Errorf("des: scale-down VM-hours %.3f not strictly below keep-forever %.3f",
+			scaleDES.VMHours, keepDES.VMHours)
+	}
+	bound := int64(float64(keepDES.QueueWaitP99US)*1.10) + int64(time.Second/time.Microsecond)
+	if scaleDES.QueueWaitP99US > bound {
+		t.Errorf("des: scale-down p99 queue wait %s beyond bound %s (keep %s)",
+			time.Duration(scaleDES.QueueWaitP99US)*time.Microsecond,
+			time.Duration(bound)*time.Microsecond,
+			time.Duration(keepDES.QueueWaitP99US)*time.Microsecond)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"splitserve/internal/billing"
+	"splitserve/internal/cloud"
 	"splitserve/internal/simclock"
 	"splitserve/internal/spark/engine"
 	"splitserve/internal/telemetry"
@@ -42,6 +43,11 @@ type JobReport struct {
 	CostLambdaUSD float64 `json:"cost_lambda_usd"`
 
 	Failed string `json:"failed,omitempty"`
+	// Shed carries the admission policy's rejection reason; a shed job
+	// never ran. Delayed marks jobs deadline admission held back at
+	// least once before admitting (or shedding).
+	Shed    string `json:"shed,omitempty"`
+	Delayed bool   `json:"delayed,omitempty"`
 }
 
 // Report is a whole cluster run.
@@ -50,11 +56,21 @@ type Report struct {
 	Strategy  string `json:"strategy"`
 	Seed      uint64 `json:"seed"`
 	PoolCores int    `json:"pool_cores"`
+	// Admission and ScaleDownIdleUS echo the elasticity configuration the
+	// run used, so a saved report is self-describing.
+	Admission       string `json:"admission"`
+	ScaleDownIdleUS int64  `json:"scaledown_idle_us"`
 
 	Jobs          int `json:"jobs"`
 	Completed     int `json:"completed"`
 	Failed        int `json:"failed"`
+	Shed          int `json:"shed"`
+	Delayed       int `json:"delayed"`
 	SLOViolations int `json:"slo_violations"`
+	// SLOAttainment is the fraction of all submitted jobs that completed
+	// within their deadline (failed and shed jobs count against it) — the
+	// y-axis of the paper's cost-vs-SLO curve.
+	SLOAttainment float64 `json:"slo_attainment"`
 
 	MakespanUS      int64 `json:"makespan_us"`
 	QueueWaitMeanUS int64 `json:"queue_wait_mean_us"`
@@ -75,6 +91,15 @@ type Report struct {
 	CoreUtilization float64 `json:"core_utilization"`
 	LambdaShare     float64 `json:"lambda_share"`
 
+	// VMHours is total billed instance-hours (base fleet for the
+	// makespan, procured VMs for their uptime); the elasticity fields
+	// below break out what idle-timeout scale-down saved against the
+	// keep-forever counterfactual.
+	VMHours             float64 `json:"vm_hours"`
+	VMsReleasedIdle     int     `json:"vms_released_idle"`
+	VMHoursSaved        float64 `json:"vm_hours_saved"`
+	VMScaledownSavedUSD float64 `json:"vm_scaledown_saved_usd"`
+
 	VMBaseUSD      float64 `json:"vm_base_usd"`
 	VMAutoscaleUSD float64 `json:"vm_autoscale_usd"`
 	LambdaUSD      float64 `json:"lambda_usd"`
@@ -87,11 +112,13 @@ func us(d time.Duration) int64 { return d.Microseconds() }
 
 func (s *Scheduler) buildReport() *Report {
 	r := &Report{
-		Policy:    s.cfg.Policy.Name(),
-		Strategy:  s.cfg.Strategy.String(),
-		Seed:      s.cfg.Seed,
-		PoolCores: s.cfg.PoolCores,
-		Jobs:      len(s.jobs),
+		Policy:          s.cfg.Policy.Name(),
+		Strategy:        s.cfg.Strategy.String(),
+		Seed:            s.cfg.Seed,
+		PoolCores:       s.cfg.PoolCores,
+		Admission:       s.cfg.Admission.String(),
+		ScaleDownIdleUS: us(s.cfg.ScaleDownIdle),
+		Jobs:            len(s.jobs),
 
 		QueueWaitHist: s.insts.queueWait.Snapshot(),
 		StretchHist:   s.insts.stretch.Snapshot(),
@@ -139,10 +166,18 @@ func (s *Scheduler) buildReport() *Report {
 		jr.CostLambdaUSD = byKind["lambda"]
 		jr.CostUSD = j.meter.Total()
 
-		if j.err != nil {
+		jr.Delayed = j.delayed
+		if j.delayed {
+			r.Delayed++
+		}
+		switch {
+		case j.phase == jobShed:
+			jr.Shed = j.shedReason
+			r.Shed++
+		case j.err != nil:
 			jr.Failed = j.err.Error()
 			r.Failed++
-		} else {
+		default:
 			r.Completed++
 			total := j.finishedAt.Sub(j.arrivalAt)
 			jr.Stretch = float64(total) / float64(j.spec.Baseline)
@@ -189,19 +224,33 @@ func (s *Scheduler) buildReport() *Report {
 
 	// Capacity: base pool cores for the makespan, procured cores from
 	// their ready instant. The base fleet is billed for the makespan,
-	// procured VMs for their uptime.
+	// procured VMs for their uptime — to the end of the run, or to their
+	// idle-timeout release when scale-down terminated them early.
 	capSeconds := 0.0
 	for _, vm := range s.baseVMs {
 		capSeconds += float64(vm.Type.VCPUs) * makespan.Seconds()
 		r.VMBaseUSD += billing.VMCost(vm.Type.PricePerHour, makespan)
+		r.VMHours += makespan.Hours()
 	}
 	for _, vm := range s.procured {
-		up := end.Sub(vm.ReadyAt)
+		upEnd := end
+		if vm.State == cloud.VMTerminated && vm.EndedAt.Before(end) {
+			upEnd = vm.EndedAt
+			r.VMsReleasedIdle++
+			r.VMHoursSaved += end.Sub(vm.EndedAt).Hours()
+			r.VMScaledownSavedUSD += billing.VMSavings(
+				vm.Type.PricePerHour, upEnd.Sub(vm.ReadyAt), end.Sub(vm.ReadyAt))
+		}
+		up := upEnd.Sub(vm.ReadyAt)
 		if up < 0 {
 			up = 0
 		}
 		capSeconds += float64(vm.Type.VCPUs) * up.Seconds()
 		r.VMAutoscaleUSD += billing.VMCost(vm.Type.PricePerHour, up)
+		r.VMHours += up.Hours()
+	}
+	if r.Jobs > 0 {
+		r.SLOAttainment = float64(r.Completed-r.SLOViolations) / float64(r.Jobs)
 	}
 	if capSeconds > 0 {
 		r.CoreUtilization = vmBusy.Seconds() / capSeconds
@@ -237,11 +286,11 @@ func (r *Report) JSON() ([]byte, error) {
 // String renders a human summary table.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: policy=%s strategy=%s pool=%d cores seed=%d\n",
-		r.Policy, r.Strategy, r.PoolCores, r.Seed)
-	fmt.Fprintf(&b, "jobs %d (completed %d, failed %d), SLO violations %d (%.1f%%)\n",
-		r.Jobs, r.Completed, r.Failed, r.SLOViolations,
-		100*float64(r.SLOViolations)/maxf(1, float64(r.Completed)))
+	fmt.Fprintf(&b, "cluster: policy=%s strategy=%s pool=%d cores seed=%d admission=%s\n",
+		r.Policy, r.Strategy, r.PoolCores, r.Seed, r.Admission)
+	fmt.Fprintf(&b, "jobs %d (completed %d, failed %d, shed %d, delayed %d), SLO violations %d, attainment %.1f%%\n",
+		r.Jobs, r.Completed, r.Failed, r.Shed, r.Delayed, r.SLOViolations,
+		100*r.SLOAttainment)
 	fmt.Fprintf(&b, "makespan %s; queue wait mean %s p50 %s p99 %s\n",
 		time.Duration(r.MakespanUS)*time.Microsecond,
 		time.Duration(r.QueueWaitMeanUS)*time.Microsecond,
@@ -251,11 +300,15 @@ func (r *Report) String() string {
 		r.MeanStretch, r.P99Stretch, 100*r.CoreUtilization, 100*r.LambdaShare)
 	fmt.Fprintf(&b, "cost $%.2f (base $%.2f + scale $%.2f + lambda $%.2f)\n",
 		r.TotalUSD, r.VMBaseUSD, r.VMAutoscaleUSD, r.LambdaUSD)
+	fmt.Fprintf(&b, "vm-hours %.3f; released idle %d, saved %.3f vm-h = $%.4f\n",
+		r.VMHours, r.VMsReleasedIdle, r.VMHoursSaved, r.VMScaledownSavedUSD)
 	fmt.Fprintf(&b, "%-4s %-20s %6s %10s %10s %8s %7s %5s %9s\n",
 		"id", "name", "cores", "queued", "ran", "stretch", "slo", "vm/la", "cost")
 	for _, j := range r.JobReports {
 		status := "ok"
-		if j.Failed != "" {
+		if j.Shed != "" {
+			status = "SHED"
+		} else if j.Failed != "" {
 			status = "FAIL"
 		} else if j.SLOViolated {
 			status = "VIOL"
@@ -272,10 +325,3 @@ func (r *Report) String() string {
 // WriteProm streams the scheduler's telemetry in Prometheus exposition
 // format (cluster_, vmpool_, engine_ and cloud_ families).
 func (s *Scheduler) WriteProm(w io.Writer) error { return s.hub.WritePrometheus(w) }
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -69,6 +69,11 @@ const (
 	SLOViolate     Type = "slo_violate"
 	SegueCoreGrant Type = "segue_core_grant"
 	AutoscaleOrder Type = "autoscale_order"
+
+	// Elasticity (scale-down + deadline-aware admission).
+	VMReleaseIdle Type = "vm_release_idle"
+	ClusterShed   Type = "cluster_job_shed"
+	ClusterDelay  Type = "cluster_job_delay"
 )
 
 // Valid reports whether t is a known event type.
@@ -81,7 +86,8 @@ func (t Type) Valid() bool {
 		VMRequest, VMReady, LambdaInvoke, LambdaReady, LambdaRelease,
 		CoreLease, CoreRelease,
 		ClusterArrive, ClusterAdmit, ClusterFinish, ClusterFail,
-		SLOViolate, SegueCoreGrant, AutoscaleOrder:
+		SLOViolate, SegueCoreGrant, AutoscaleOrder,
+		VMReleaseIdle, ClusterShed, ClusterDelay:
 		return true
 	}
 	return false

@@ -180,14 +180,15 @@ func BuildTrace(events []Event) *TraceFile {
 					map[string]any{"exec": e.Exec, "kind": s.Kind, "reason": e.Note})
 			}
 		case Segue, ExecutorDrain, SegueCoreGrant, SLOViolate, ClusterArrive,
-			StageResubmitted, TaskSpeculated, AutoscaleOrder:
+			StageResubmitted, TaskSpeculated, AutoscaleOrder,
+			ClusterShed, ClusterDelay:
 			tid := driverTID
 			if e.Exec != "" {
 				tid = tidOf(e.App, e.Exec, e.Kind)
 			}
 			instant(e, string(e.Type), pidOf(e.App), tid, "p", argsFor(e))
 		case VMRequest, VMReady, LambdaInvoke, LambdaReady, LambdaRelease,
-			CoreLease, CoreRelease:
+			CoreLease, CoreRelease, VMReleaseIdle:
 			// Control-plane events are global: they have no app process.
 			instant(e, string(e.Type), pidOf(e.App), driverTID, "g", argsFor(e))
 		case ShuffleRead, ShuffleWrite, HDFSRead, HDFSWrite:
