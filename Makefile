@@ -19,6 +19,8 @@ race:
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzParseArrivals -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzParseArrivalTrace -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/costmgr -run '^$$' -fuzz FuzzLoadProfiles -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cliutil -run '^$$' -fuzz FuzzValidateReport -fuzztime $(FUZZTIME)
 
 # check is the full pre-commit gate: static analysis, the whole test suite
@@ -29,9 +31,11 @@ check:
 	$(MAKE) fuzz
 	$(MAKE) smoke
 
-# smoke round-trips the observability pipeline: run a small cluster day,
-# save its event log, replay it through splitserve-history, and convert
-# it to a Chrome trace (CI uploads smoke/trace.json as an artifact).
+# smoke round-trips the observability pipeline (run a small cluster day,
+# save its event log, replay it through splitserve-history, convert it to
+# a Chrome trace) and the cost manager (profile one workload, then let
+# -cores auto schedule from the curves). CI uploads smoke/trace.json,
+# smoke/profiles.json and smoke/cluster-report.json as artifacts.
 smoke:
 	mkdir -p smoke
 	$(GO) run ./cmd/splitserve-cluster -jobs 3 -mix sparkpi -pool 8 \
@@ -39,6 +43,12 @@ smoke:
 	$(GO) run ./cmd/splitserve-history -log smoke/events.jsonl \
 		-trace smoke/trace.json
 	@test -s smoke/trace.json && echo "smoke: event log replayed, trace written to smoke/trace.json"
+	$(GO) run ./cmd/splitserve-profile -out smoke/profiles.json -workloads sparkpi
+	$(GO) run ./cmd/splitserve-cluster -jobs 3 -mix sparkpi -pool 8 \
+		-cores auto -profiles smoke/profiles.json -alloc min-cost \
+		-report json > smoke/cluster-report.json
+	@grep -q '"alloc": "min-cost"' smoke/cluster-report.json \
+		&& echo "smoke: profile -> schedule round trip OK (smoke/cluster-report.json)"
 
 sim:
 	$(GO) run ./cmd/splitserve-sim

@@ -1,46 +1,37 @@
 // Command splitserve-cluster runs the multi-job cluster scheduler: a
-// stream of real task-graph jobs (Poisson, uniform, bursty or explicit
-// trace arrivals) against one shared VM pool, with pluggable sharing
-// policies and the paper's three shortfall strategies:
+// stream of real task-graph jobs (Poisson, uniform, bursty, explicit
+// trace or CSV tracefile arrivals) against one shared VM pool, with
+// pluggable sharing policies and the paper's three shortfall strategies:
 //
 //	splitserve-cluster -jobs 12 -arrival poisson:45s -policy fair -strategy bridge
 //	splitserve-cluster -mix sparkpi,tpcds -pool 32 -slo 1.3 -report json
+//	splitserve-cluster -cores auto -profiles profiles.json -alloc min-cost
 //	splitserve-cluster -compare
 //
-// Same seed, same flags → byte-identical -report json output.
+// With -cores auto the cost manager sizes each arriving job from the
+// profile curves written by `splitserve-profile -out` instead of taking
+// a fixed R. Same seed, same flags → byte-identical -report json output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"splitserve/internal/cliutil"
 	"splitserve/internal/cluster"
+	"splitserve/internal/costmgr"
 	"splitserve/internal/experiments"
 	"splitserve/internal/workloads"
 )
 
-var mixFactories = map[string]func(seed uint64) workloads.Workload{
-	"sparkpi":  experiments.NewSparkPi,
-	"pagerank": experiments.NewPageRank,
-	"kmeans":   experiments.NewKMeans,
-	"tpcds":    func(seed uint64) workloads.Workload { return experiments.NewTPCDSQuery("q95") },
-}
+func mixNames() string { return strings.Join(experiments.MixNames(), ", ") }
 
-func mixNames() string {
-	names := make([]string, 0, len(mixFactories))
-	for n := range mixFactories {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
-}
-
-// parseMix resolves a comma-separated workload mix against mixFactories.
+// parseMix resolves a comma-separated workload mix against the
+// experiments mix factories.
 func parseMix(spec string) ([]string, error) {
 	var out []string
 	for _, name := range strings.Split(spec, ",") {
@@ -48,7 +39,7 @@ func parseMix(spec string) ([]string, error) {
 		if name == "" {
 			continue
 		}
-		if _, ok := mixFactories[name]; !ok {
+		if _, ok := experiments.MixWorkload(name); !ok {
 			return nil, fmt.Errorf("unknown workload %q in -mix (accepted: %s)", name, mixNames())
 		}
 		out = append(out, name)
@@ -59,26 +50,39 @@ func parseMix(spec string) ([]string, error) {
 	return out, nil
 }
 
-// buildSpecs calibrates one baseline per mix entry and assembles the
-// round-robin job stream.
-func buildSpecs(mix []string, arrivals []time.Duration, cores int, seed uint64) ([]cluster.JobSpec, error) {
-	baselines := make(map[string]time.Duration, len(mix))
-	for _, name := range mix {
-		base, err := cluster.Baseline(mixFactories[name](seed), cores, seed)
-		if err != nil {
-			return nil, fmt.Errorf("baseline %s: %w", name, err)
-		}
-		baselines[name] = base
+// buildSpecs calibrates one baseline per (mix entry, core count) and
+// assembles the round-robin job stream. cores[i] and picks[i] size job i
+// (picks entries may be nil — fixed-cores jobs carry no decision).
+func buildSpecs(mix []string, arrivals []time.Duration, cores []int, picks []*cluster.CostPick, seed uint64) ([]cluster.JobSpec, error) {
+	type baseKey struct {
+		name  string
+		cores int
 	}
+	mk := func(name string, seed uint64) workloads.Workload {
+		factory, _ := experiments.MixWorkload(name)
+		return factory(seed)
+	}
+	baselines := make(map[baseKey]time.Duration)
 	specs := make([]cluster.JobSpec, len(arrivals))
 	for i, at := range arrivals {
 		name := mix[i%len(mix)]
+		k := baseKey{name, cores[i]}
+		base, ok := baselines[k]
+		if !ok {
+			var err error
+			base, err = cluster.Baseline(mk(name, seed), cores[i], seed)
+			if err != nil {
+				return nil, fmt.Errorf("baseline %s x%d: %w", name, cores[i], err)
+			}
+			baselines[k] = base
+		}
 		specs[i] = cluster.JobSpec{
 			Name:     name,
-			Workload: mixFactories[name](seed + uint64(i)),
-			Cores:    cores,
+			Workload: mk(name, seed+uint64(i)),
+			Cores:    cores[i],
 			Arrival:  at,
-			Baseline: baselines[name],
+			Baseline: base,
+			Pick:     picks[i],
 		}
 	}
 	return specs, nil
@@ -92,15 +96,19 @@ func run() int {
 	var (
 		jobs     = flag.Int("jobs", 8, "number of jobs in the stream")
 		mixSpec  = flag.String("mix", "sparkpi,pagerank,kmeans", "comma-separated workload mix: "+mixNames())
-		arrival  = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,...")
+		arrival  = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,... | tracefile:PATH")
 		policy   = flag.String("policy", "fair", "core-sharing policy: fifo | fair")
 		strategy = flag.String("strategy", "bridge", "shortfall strategy: queue | autoscale | bridge")
 		slo      = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
 		pool     = flag.Int("pool", 16, "shared VM pool size in cores")
-		cores    = flag.Int("cores", 8, "per-job core demand R")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		report    = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
-		compare   = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+		cores    = flag.String("cores", "8", "per-job core demand R, or \"auto\" to let the cost manager size each job (-profiles)")
+		profiles = flag.String("profiles", "", "profile file from `splitserve-profile -out` (required with -cores auto)")
+		alloc    = flag.String("alloc", "min-cost", "cost-manager policy with -cores auto: min-cost | min-time | knee")
+		budget   = flag.Float64("budget", 0, "per-job predicted-cost cap in USD for -alloc min-time (0 = uncapped)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		report   = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
+		compare  = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+		costcmp  = flag.Bool("costcompare", false, "run the fixed-R vs cost-manager comparison (requires -profiles)")
 		scaledown = flag.Duration("scaledown", 0, "release autoscale-procured VMs idle for this long back to the provider (0 disables)")
 		admission = flag.String("admission", "greedy", "admission policy: greedy | deadline (delay or shed jobs whose SLO is unattainable)")
 		elastic   = flag.Bool("elastic", false, "run the elasticity comparison: keep-forever vs -scaledown vs -scaledown plus deadline admission")
@@ -140,6 +148,26 @@ func run() int {
 		return 0
 	}
 
+	if *costcmp {
+		if *profiles == "" {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster: -costcompare requires -profiles (run splitserve-profile -out first)")
+			return 2
+		}
+		f, err := costmgr.Load(*profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		runs, err := experiments.CostManagerComparison(*seed, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		fmt.Println("== cost manager: fixed per-job R vs profile-driven allocation ==")
+		fmt.Print(experiments.FormatCostManagerComparison(runs))
+		return 0
+	}
+
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
@@ -164,12 +192,91 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -scaledown %s (0 disables)\n", *scaledown)
 		return 2
 	}
+
+	auto := *cores == "auto"
+	fixedCores := 0
+	if !auto {
+		fixedCores, err = strconv.Atoi(*cores)
+		if err != nil || fixedCores < 1 {
+			fmt.Fprintf(os.Stderr, "splitserve-cluster: bad -cores %q (want a positive integer or \"auto\")\n", *cores)
+			return 2
+		}
+	} else if *profiles == "" {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster: -cores auto requires -profiles (run splitserve-profile -out first)")
+		return 2
+	}
+
 	arrivals, err := cluster.ParseArrivals(*arrival, *jobs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 2
 	}
-	specs, err := buildSpecs(mix, arrivals, *cores, *seed)
+	// A tracefile may pin some jobs' core demand per row; those rows
+	// bypass both the fixed default and the cost manager.
+	var traceCores []int
+	if path, ok := strings.CutPrefix(*arrival, "tracefile:"); ok {
+		tr, err := cluster.LoadArrivalTrace(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 2
+		}
+		traceCores = tr.Cores
+	}
+
+	coreList := make([]int, len(arrivals))
+	picks := make([]*cluster.CostPick, len(arrivals))
+	allocLabel := "fixed"
+	if auto {
+		f, err := costmgr.Load(*profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		mgr, err := costmgr.NewManager(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		allocPol, err := costmgr.PolicyByName(*alloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 2
+		}
+		allocLabel = allocPol.String()
+		for i := range arrivals {
+			name := mix[i%len(mix)]
+			d, err := mgr.Decide(allocPol, costmgr.Request{
+				Workload:  name,
+				MaxCores:  *pool,
+				Fallback:  8,
+				SLOFactor: *slo,
+				BudgetUSD: *budget,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+				return 1
+			}
+			coreList[i] = d.Cores
+			picks[i] = &cluster.CostPick{
+				Policy:           d.Policy,
+				PredictedRun:     d.PredictedRun(),
+				PredictedCostUSD: d.PredictedCostUSD,
+				Source:           d.Source,
+			}
+		}
+	} else {
+		for i := range coreList {
+			coreList[i] = fixedCores
+		}
+	}
+	for i, c := range traceCores {
+		if i < len(coreList) && c > 0 {
+			coreList[i] = c
+			picks[i] = nil
+		}
+	}
+
+	specs, err := buildSpecs(mix, arrivals, coreList, picks, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 1
@@ -184,6 +291,7 @@ func run() int {
 		Seed:          *seed,
 		Admission:     adm,
 		ScaleDownIdle: *scaledown,
+		Alloc:         allocLabel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)

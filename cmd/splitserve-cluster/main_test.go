@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"splitserve/internal/cluster"
+	"splitserve/internal/experiments"
 )
 
 func TestParseMix(t *testing.T) {
@@ -23,7 +26,11 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestMixFactoriesBuildWorkloads(t *testing.T) {
-	for name, mk := range mixFactories {
+	for _, name := range experiments.MixNames() {
+		mk, ok := experiments.MixWorkload(name)
+		if !ok {
+			t.Fatalf("MixNames lists %q but MixWorkload cannot resolve it", name)
+		}
 		w := mk(1)
 		if w.Name() == "" || w.DefaultParallelism() <= 0 {
 			t.Fatalf("%s: degenerate workload", name)
@@ -33,7 +40,9 @@ func TestMixFactoriesBuildWorkloads(t *testing.T) {
 
 func TestBuildSpecsRoundRobin(t *testing.T) {
 	arrivals := []time.Duration{0, time.Second, 2 * time.Second}
-	specs, err := buildSpecs([]string{"sparkpi", "kmeans"}, arrivals, 4, 1)
+	cores := []int{4, 4, 4}
+	picks := make([]*cluster.CostPick, 3)
+	specs, err := buildSpecs([]string{"sparkpi", "kmeans"}, arrivals, cores, picks, 1)
 	if err != nil {
 		t.Fatalf("buildSpecs: %v", err)
 	}

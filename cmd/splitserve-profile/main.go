@@ -6,6 +6,13 @@
 //	splitserve-profile -substrate lambda
 //	splitserve-profile -substrate vm -pages 50000 -iterations 3
 //	splitserve-profile -report json
+//
+// With -out it instead profiles the cluster mix workloads on both
+// substrates and writes the versioned costmgr profile file that
+// `splitserve-cluster -cores auto` consumes:
+//
+//	splitserve-profile -out profiles.json
+//	splitserve-profile -out profiles.json -workloads sparkpi,kmeans
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"splitserve/internal/cliutil"
 	"splitserve/internal/cloud"
@@ -50,10 +58,20 @@ func run() int {
 		maxPar     = flag.Int("max-parallelism", 128, "largest degree of parallelism (powers of two from 1)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		report     = flag.String("report", "", "emit the profile as a machine-readable report: json | prom")
+		out        = flag.String("out", "", "write a costmgr profile file for the cluster mix workloads (skips the Figure 4 sweep)")
+		workloadsF = flag.String("workloads", "", "comma-separated mix workloads to profile with -out (default: all)")
 		eventLog   = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace      = flag.String("trace", "", cliutil.TraceUsage)
 	)
 	flag.Parse()
+
+	if *out != "" {
+		return runProfileOut(*out, *workloadsF, *seed, *eventLog, *trace)
+	}
+	if *workloadsF != "" {
+		fmt.Fprintln(os.Stderr, "splitserve-profile: -workloads only applies with -out")
+		return 2
+	}
 
 	lambda := *substrate == "lambda"
 	if !lambda && *substrate != "vm" {
@@ -165,6 +183,49 @@ func run() int {
 	case "prom":
 		writeProm(os.Stdout, *substrate, all)
 	}
+	return 0
+}
+
+// runProfileOut profiles the cluster mix workloads on both substrates
+// and writes the versioned costmgr profile file -cores auto consumes.
+func runProfileOut(path, workloadSpec string, seed uint64, eventLog, trace string) int {
+	var names []string
+	for _, n := range strings.Split(workloadSpec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	var bus *eventlog.Bus
+	if eventLog != "" || trace != "" {
+		bus = eventlog.NewBus(simclock.Epoch)
+	}
+	f, err := experiments.BuildProfileFile(seed, names, nil, bus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
+	}
+	buf, err := f.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
+	}
+	if err := cliutil.WriteEventLog(eventLog, bus.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
+	}
+	if err := cliutil.WriteTrace(trace, bus.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 1
+	}
+	points := 0
+	for _, c := range f.Curves {
+		points += len(c.Points)
+	}
+	fmt.Printf("wrote %s: %d curves, %d points (seed %d)\n", path, len(f.Curves), points, f.Seed)
 	return 0
 }
 

@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,6 +22,9 @@ import (
 //	                 GAP apart (e.g. "bursty:4x5m")
 //	trace:D1,D2,...  explicit offsets (e.g. "trace:0s,5s,5s,90s"); n is
 //	                 ignored — the trace length wins
+//	tracefile:PATH   offsets (and optionally per-job cores) from a CSV
+//	                 file, one "OFFSET" or "OFFSET,CORES" row per line;
+//	                 n is ignored — the file length wins
 //
 // Offsets are returned sorted ascending. The draw is deterministic in
 // (spec, n, seed).
@@ -68,7 +75,16 @@ func ParseArrivals(spec string, n int, seed uint64) ([]time.Duration, error) {
 			burst, pos := i/size, i%size
 			out = append(out, time.Duration(burst)*gap+time.Duration(pos)*time.Second)
 		}
+		// When K×1s exceeds GAP the tail of one burst lands after the head
+		// of the next; sort so the documented ascending contract holds.
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out, nil
+	case "tracefile":
+		tr, err := LoadArrivalTrace(arg)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Offsets, nil
 	case "trace":
 		parts := strings.Split(arg, ",")
 		out := make([]time.Duration, 0, len(parts))
@@ -85,6 +101,100 @@ func ParseArrivals(spec string, n int, seed uint64) ([]time.Duration, error) {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out, nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown arrival spec %q (want poisson:MEAN, uniform:GAP, bursty:KxGAP or trace:...)", spec)
+		return nil, fmt.Errorf("cluster: unknown arrival spec %q (want poisson:MEAN, uniform:GAP, bursty:KxGAP, trace:... or tracefile:PATH)", spec)
 	}
+}
+
+// ArrivalTrace is a parsed tracefile: arrival offsets sorted ascending,
+// plus a parallel Cores slice (0 where a row gave no core count). The two
+// slices are reordered together, so Cores[i] always belongs to Offsets[i].
+type ArrivalTrace struct {
+	Offsets []time.Duration
+	Cores   []int
+}
+
+// maxTraceFileBytes caps how much of a tracefile is read — a malformed
+// path (FIFO, device, huge file) fails fast instead of wedging the CLI.
+const maxTraceFileBytes = 1 << 20
+
+// LoadArrivalTrace reads a CSV arrival trace from path. Only regular files
+// up to 1 MiB are accepted.
+func LoadArrivalTrace(path string) (*ArrivalTrace, error) {
+	if path == "" {
+		return nil, fmt.Errorf("cluster: tracefile: empty path")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tracefile: %w", err)
+	}
+	if !fi.Mode().IsRegular() {
+		return nil, fmt.Errorf("cluster: tracefile %s: not a regular file", path)
+	}
+	if fi.Size() > maxTraceFileBytes {
+		return nil, fmt.Errorf("cluster: tracefile %s: %d bytes exceeds the %d-byte cap", path, fi.Size(), maxTraceFileBytes)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tracefile: %w", err)
+	}
+	defer f.Close()
+	tr, err := ParseArrivalTrace(io.LimitReader(f, maxTraceFileBytes))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tracefile %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// ParseArrivalTrace parses CSV rows of the form "OFFSET" or "OFFSET,CORES"
+// (e.g. "30s,4"). Blank lines and lines starting with '#' are skipped;
+// malformed rows are rejected with their line number. Rows are sorted by
+// offset (stably, so equal offsets keep file order) before returning.
+func ParseArrivalTrace(r io.Reader) (*ArrivalTrace, error) {
+	type row struct {
+		offset time.Duration
+		cores  int
+	}
+	var rows []row
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		fields := strings.Split(s, ",")
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: %d fields (want OFFSET or OFFSET,CORES)", line, len(fields))
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(fields[0]))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("line %d: bad offset %q", line, strings.TrimSpace(fields[0]))
+		}
+		cores := 0
+		if len(fields) == 2 {
+			c, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+			if err != nil || c < 1 {
+				return nil, fmt.Errorf("line %d: bad cores %q", line, strings.TrimSpace(fields[1]))
+			}
+			cores = c
+		}
+		rows = append(rows, row{offset: d, cores: cores})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].offset < rows[j].offset })
+	tr := &ArrivalTrace{
+		Offsets: make([]time.Duration, len(rows)),
+		Cores:   make([]int, len(rows)),
+	}
+	for i, rw := range rows {
+		tr.Offsets[i] = rw.offset
+		tr.Cores[i] = rw.cores
+	}
+	return tr, nil
 }

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBurstyOverlappingBurstsSorted is the regression for the bursty
+// arrival bug: with K jobs 1 s apart and bursts only GAP apart, K×1s >
+// GAP makes consecutive bursts overlap, and the generator used to emit
+// the tail of burst b after the head of burst b+1 — violating the
+// documented ascending contract.
+func TestBurstyOverlappingBurstsSorted(t *testing.T) {
+	out, err := ParseArrivals("bursty:10x5s", 30, 1)
+	if err != nil {
+		t.Fatalf("ParseArrivals: %v", err)
+	}
+	if len(out) != 30 {
+		t.Fatalf("got %d offsets, want 30", len(out))
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		t.Fatalf("bursty:10x5s offsets not ascending: %v", out)
+	}
+	// Overlap really happens in this spec: job 9 of burst 0 lands at 9s,
+	// after job 0 of burst 1 at 5s — both must be present.
+	want := map[time.Duration]bool{5 * time.Second: false, 9 * time.Second: false}
+	for _, d := range out {
+		if _, ok := want[d]; ok {
+			want[d] = true
+		}
+	}
+	for d, seen := range want {
+		if !seen {
+			t.Errorf("offset %s missing from overlapping bursts: %v", d, out)
+		}
+	}
+}
+
+func TestParseArrivalTraceCSV(t *testing.T) {
+	tr, err := ParseArrivalTrace(strings.NewReader(
+		"# arrival trace\n\n30s,4\n0s\n10s, 2 \n"))
+	if err != nil {
+		t.Fatalf("ParseArrivalTrace: %v", err)
+	}
+	wantOff := []time.Duration{0, 10 * time.Second, 30 * time.Second}
+	wantCores := []int{0, 2, 4}
+	if len(tr.Offsets) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tr.Offsets))
+	}
+	for i := range wantOff {
+		if tr.Offsets[i] != wantOff[i] || tr.Cores[i] != wantCores[i] {
+			t.Fatalf("row %d = (%s, %d), want (%s, %d)",
+				i, tr.Offsets[i], tr.Cores[i], wantOff[i], wantCores[i])
+		}
+	}
+
+	for _, tc := range []struct {
+		csv  string
+		line string
+	}{
+		{"5s\nbogus\n", "line 2"},
+		{"5s,-1\n", "line 1"},
+		{"5s,0\n", "line 1"},
+		{"5s,2,3\n", "line 1"},
+		{"-1s\n", "line 1"},
+		{"# only comments\n\n", "empty trace"},
+	} {
+		_, err := ParseArrivalTrace(strings.NewReader(tc.csv))
+		if err == nil || !strings.Contains(err.Error(), tc.line) {
+			t.Errorf("ParseArrivalTrace(%q): error %v, want mention of %q", tc.csv, err, tc.line)
+		}
+	}
+}
+
+func TestLoadArrivalTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arrivals.csv")
+	if err := os.WriteFile(path, []byte("0s\n5s,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadArrivalTrace(path)
+	if err != nil {
+		t.Fatalf("LoadArrivalTrace: %v", err)
+	}
+	if len(tr.Offsets) != 2 || tr.Cores[1] != 4 {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	// The ParseArrivals front door reaches the same file.
+	offs, err := ParseArrivals("tracefile:"+path, 99, 1)
+	if err != nil {
+		t.Fatalf("ParseArrivals(tracefile): %v", err)
+	}
+	if len(offs) != 2 || offs[1] != 5*time.Second {
+		t.Fatalf("tracefile offsets = %v", offs)
+	}
+
+	if _, err := LoadArrivalTrace(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadArrivalTrace(""); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := LoadArrivalTrace(dir); err == nil {
+		t.Error("directory accepted")
+	}
+	if _, err := LoadArrivalTrace("/dev/null"); err == nil {
+		t.Error("device file accepted")
+	}
+	big := filepath.Join(dir, "big.csv")
+	if err := os.WriteFile(big, make([]byte, maxTraceFileBytes+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArrivalTrace(big); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("oversized file: got %v, want size-cap error", err)
+	}
+
+	// Malformed rows surface the path and line number to the operator.
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("0s\nnope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArrivalTrace(bad); err == nil ||
+		!strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), bad) {
+		t.Errorf("malformed row: got %v, want path and line 2", err)
+	}
+}

@@ -76,6 +76,25 @@ type JobSpec struct {
 	// Baseline); the SLO deadline is SLOFactor × Baseline and stretch is
 	// measured against it.
 	Baseline time.Duration
+	// Pick, when set, records the cost manager's allocation decision
+	// that produced Cores. The scheduler emits it as a cost_pick event
+	// on arrival and the report compares its predictions against the
+	// realized run time and cost, so prediction error is observable.
+	Pick *CostPick
+}
+
+// CostPick is a cost-manager allocation decision attached to a JobSpec
+// (-cores auto). The cluster layer only carries and reports it; the
+// decision itself is made by internal/costmgr above this package.
+type CostPick struct {
+	// Policy names the allocation policy (min-cost, min-time, knee).
+	Policy string
+	// PredictedRun / PredictedCostUSD are the profile's predictions at
+	// the chosen R (zero when Source is "fallback").
+	PredictedRun     time.Duration
+	PredictedCostUSD float64
+	// Source is "profile" or "fallback" (no profile for the workload).
+	Source string
 }
 
 // Config assembles a Scheduler.
@@ -105,6 +124,10 @@ type Config struct {
 	HybridSlowdown float64
 	// LambdaMemoryMB sizes bridged Lambda executors (default 1536).
 	LambdaMemoryMB int
+	// Alloc labels how per-job core demands were chosen ("fixed", or the
+	// cost-manager policy behind -cores auto); it is echoed in the
+	// report so saved reports are self-describing.
+	Alloc string
 	// VMBootOverride pins the boot delay of autoscale-procured VMs
 	// (0 = sample the provider's distribution).
 	VMBootOverride time.Duration
@@ -283,6 +306,9 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.PoolVMType.VCPUs == 0 {
 		cfg.PoolVMType = cloud.M4XLarge
 	}
+	if cfg.Alloc == "" {
+		cfg.Alloc = "fixed"
+	}
 	if cfg.MaxSimTime == 0 {
 		cfg.MaxSimTime = 48 * time.Hour
 	}
@@ -432,6 +458,13 @@ func (s *Scheduler) onArrival(j *job) {
 		telemetry.L("app", j.appID))
 	s.insts.jobsArrived.Inc()
 	s.emit(eventlog.ClusterArrive, j, func(ev *eventlog.Event) { ev.Cores = j.spec.Cores })
+	if p := j.spec.Pick; p != nil {
+		s.emit(eventlog.CostPick, j, func(ev *eventlog.Event) {
+			ev.Cores = j.spec.Cores
+			ev.Note = fmt.Sprintf("%s pred_run_us=%d pred_cost_usd=%.6f src=%s",
+				p.Policy, p.PredictedRun.Microseconds(), p.PredictedCostUSD, p.Source)
+		})
+	}
 	s.kick()
 }
 

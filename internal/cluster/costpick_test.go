@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve/internal/eventlog"
+)
+
+// pickedJobs attaches a synthetic cost-manager decision to every spec,
+// with predictions deliberately offset from reality so the report's
+// prediction-error fields have something to measure.
+func pickedJobs(t *testing.T, arrivals []time.Duration) []JobSpec {
+	t.Helper()
+	jobs := testJobs(t, arrivals, 4, 6, 3)
+	for i := range jobs {
+		jobs[i].Pick = &CostPick{
+			Policy:           "min-cost",
+			PredictedRun:     20 * time.Second,
+			PredictedCostUSD: 0.01,
+			Source:           "profile",
+		}
+	}
+	return jobs
+}
+
+// TestClusterCostPickReport runs a stream with attached allocation
+// decisions and checks the plumbing end to end: the cost_pick event fires
+// per job at arrival time, the per-job report echoes the decision and
+// scores its predictions, and the summary aggregates the absolute errors.
+func TestClusterCostPickReport(t *testing.T) {
+	arrivals, err := ParseArrivals("uniform:10s", 3, 1)
+	if err != nil {
+		t.Fatalf("ParseArrivals: %v", err)
+	}
+	s, err := New(Config{
+		Jobs:      pickedJobs(t, arrivals),
+		PoolCores: 8,
+		Policy:    FairShare(),
+		Strategy:  StrategyBridge,
+		SLOFactor: 1.5,
+		Seed:      1,
+		Alloc:     "min-cost",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if rep.Alloc != "min-cost" {
+		t.Fatalf("report alloc = %q, want min-cost", rep.Alloc)
+	}
+	if rep.PredictedJobs != 3 {
+		t.Fatalf("predicted jobs = %d, want 3", rep.PredictedJobs)
+	}
+	if rep.MeanAbsRunPredErr <= 0 || rep.MeanAbsCostPredErr <= 0 {
+		t.Fatalf("mean abs errors = (%g, %g), want both > 0 for offset predictions",
+			rep.MeanAbsRunPredErr, rep.MeanAbsCostPredErr)
+	}
+	for _, j := range rep.JobReports {
+		if j.AllocPolicy != "min-cost" || j.AllocSource != "profile" {
+			t.Fatalf("job %d alloc fields = (%q, %q)", j.ID, j.AllocPolicy, j.AllocSource)
+		}
+		if j.PredictedRunUS != (20 * time.Second).Microseconds() {
+			t.Fatalf("job %d predicted run %d", j.ID, j.PredictedRunUS)
+		}
+		wantErr := (float64(j.RunUS) - float64(j.PredictedRunUS)) / float64(j.PredictedRunUS)
+		if j.RunPredErr != wantErr {
+			t.Fatalf("job %d run error %g, want %g", j.ID, j.RunPredErr, wantErr)
+		}
+	}
+	if !strings.Contains(rep.String(), "cost-manager predictions: 3 jobs") {
+		t.Fatalf("summary table lacks the prediction line:\n%s", rep)
+	}
+
+	picks := 0
+	for _, e := range s.Events().Events() {
+		if e.Type != eventlog.CostPick {
+			continue
+		}
+		picks++
+		if e.Cores != 4 {
+			t.Errorf("cost_pick cores = %d, want 4", e.Cores)
+		}
+		for _, frag := range []string{"min-cost", "pred_run_us=20000000", "src=profile"} {
+			if !strings.Contains(e.Note, frag) {
+				t.Errorf("cost_pick note %q lacks %q", e.Note, frag)
+			}
+		}
+	}
+	if picks != 3 {
+		t.Fatalf("saw %d cost_pick events, want 3", picks)
+	}
+}
+
+// TestClusterCostPickByteIdentical pins the acceptance requirement that
+// reports and event logs stay byte-identical per seed with allocation
+// decisions attached.
+func TestClusterCostPickByteIdentical(t *testing.T) {
+	build := func() ([]byte, []byte) {
+		arrivals, err := ParseArrivals("poisson:15s", 4, 7)
+		if err != nil {
+			t.Fatalf("ParseArrivals: %v", err)
+		}
+		s, err := New(Config{
+			Jobs:      pickedJobs(t, arrivals),
+			PoolCores: 8,
+			Policy:    FairShare(),
+			Strategy:  StrategyBridge,
+			SLOFactor: 1.5,
+			Seed:      1,
+			Alloc:     "min-cost",
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		buf, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		log, err := s.Events().JSONL()
+		if err != nil {
+			t.Fatalf("JSONL: %v", err)
+		}
+		return buf, log
+	}
+	repA, logA := build()
+	repB, logB := build()
+	if !bytes.Equal(repA, repB) {
+		t.Fatal("same-seed reports with cost picks differ")
+	}
+	if !bytes.Equal(logA, logB) {
+		t.Fatal("same-seed event logs with cost picks differ")
+	}
+}

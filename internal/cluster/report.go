@@ -48,6 +48,17 @@ type JobReport struct {
 	// least once before admitting (or shedding).
 	Shed    string `json:"shed,omitempty"`
 	Delayed bool   `json:"delayed,omitempty"`
+
+	// Cost-manager fields (-cores auto): the allocation policy that
+	// chose Cores, its predictions, and the signed relative errors
+	// ((realized − predicted) / predicted) once the job completed.
+	// Absent on fixed-cores jobs and on fallback picks (no prediction).
+	AllocPolicy      string  `json:"alloc_policy,omitempty"`
+	AllocSource      string  `json:"alloc_source,omitempty"`
+	PredictedRunUS   int64   `json:"predicted_run_us,omitempty"`
+	PredictedCostUSD float64 `json:"predicted_cost_usd,omitempty"`
+	RunPredErr       float64 `json:"run_prediction_error,omitempty"`
+	CostPredErr      float64 `json:"cost_prediction_error,omitempty"`
 }
 
 // Report is a whole cluster run.
@@ -57,9 +68,11 @@ type Report struct {
 	Seed      uint64 `json:"seed"`
 	PoolCores int    `json:"pool_cores"`
 	// Admission and ScaleDownIdleUS echo the elasticity configuration the
-	// run used, so a saved report is self-describing.
+	// run used, so a saved report is self-describing; Alloc echoes how
+	// per-job core demands were chosen ("fixed" or a cost-manager policy).
 	Admission       string `json:"admission"`
 	ScaleDownIdleUS int64  `json:"scaledown_idle_us"`
+	Alloc           string `json:"alloc"`
 
 	Jobs          int `json:"jobs"`
 	Completed     int `json:"completed"`
@@ -105,6 +118,13 @@ type Report struct {
 	LambdaUSD      float64 `json:"lambda_usd"`
 	TotalUSD       float64 `json:"total_usd"`
 
+	// Mean absolute relative prediction error of the cost manager over
+	// completed jobs with profile-backed picks (zero when none ran with
+	// -cores auto) — how observably wrong the offline curves were.
+	PredictedJobs      int     `json:"predicted_jobs,omitempty"`
+	MeanAbsRunPredErr  float64 `json:"mean_abs_run_prediction_error,omitempty"`
+	MeanAbsCostPredErr float64 `json:"mean_abs_cost_prediction_error,omitempty"`
+
 	JobReports []JobReport `json:"job_reports"`
 }
 
@@ -118,6 +138,7 @@ func (s *Scheduler) buildReport() *Report {
 		PoolCores:       s.cfg.PoolCores,
 		Admission:       s.cfg.Admission.String(),
 		ScaleDownIdleUS: us(s.cfg.ScaleDownIdle),
+		Alloc:           s.cfg.Alloc,
 		Jobs:            len(s.jobs),
 
 		QueueWaitHist: s.insts.queueWait.Snapshot(),
@@ -127,6 +148,7 @@ func (s *Scheduler) buildReport() *Report {
 	var waits []time.Duration
 	var stretches []float64
 	var vmBusy, lambdaBusy time.Duration
+	var runErrSum, costErrSum float64
 
 	for _, j := range s.jobs {
 		jr := JobReport{
@@ -166,6 +188,12 @@ func (s *Scheduler) buildReport() *Report {
 		jr.CostLambdaUSD = byKind["lambda"]
 		jr.CostUSD = j.meter.Total()
 
+		if p := j.spec.Pick; p != nil {
+			jr.AllocPolicy = p.Policy
+			jr.AllocSource = p.Source
+			jr.PredictedRunUS = p.PredictedRun.Microseconds()
+			jr.PredictedCostUSD = p.PredictedCostUSD
+		}
 		jr.Delayed = j.delayed
 		if j.delayed {
 			r.Delayed++
@@ -189,6 +217,18 @@ func (s *Scheduler) buildReport() *Report {
 				waits = append(waits, j.admittedAt.Sub(j.arrivalAt))
 			}
 			stretches = append(stretches, jr.Stretch)
+			// Profile-backed picks: signed relative error of the offline
+			// prediction against what actually happened (fallback picks
+			// predicted nothing, so there is nothing to score).
+			if jr.AllocSource == "profile" && jr.PredictedRunUS > 0 {
+				jr.RunPredErr = float64(jr.RunUS-jr.PredictedRunUS) / float64(jr.PredictedRunUS)
+				if jr.PredictedCostUSD > 0 {
+					jr.CostPredErr = (jr.CostUSD - jr.PredictedCostUSD) / jr.PredictedCostUSD
+				}
+				r.PredictedJobs++
+				runErrSum += abs(jr.RunPredErr)
+				costErrSum += abs(jr.CostPredErr)
+			}
 		}
 		r.LambdaUSD += jr.CostLambdaUSD
 		r.JobReports = append(r.JobReports, jr)
@@ -259,7 +299,18 @@ func (s *Scheduler) buildReport() *Report {
 		r.LambdaShare = lambdaBusy.Seconds() / total.Seconds()
 	}
 	r.TotalUSD = r.VMBaseUSD + r.VMAutoscaleUSD + r.LambdaUSD
+	if r.PredictedJobs > 0 {
+		r.MeanAbsRunPredErr = runErrSum / float64(r.PredictedJobs)
+		r.MeanAbsCostPredErr = costErrSum / float64(r.PredictedJobs)
+	}
 	return r
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // quantileDur returns the q-quantile of an ascending-sorted slice.
@@ -286,8 +337,8 @@ func (r *Report) JSON() ([]byte, error) {
 // String renders a human summary table.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: policy=%s strategy=%s pool=%d cores seed=%d admission=%s\n",
-		r.Policy, r.Strategy, r.PoolCores, r.Seed, r.Admission)
+	fmt.Fprintf(&b, "cluster: policy=%s strategy=%s pool=%d cores seed=%d admission=%s alloc=%s\n",
+		r.Policy, r.Strategy, r.PoolCores, r.Seed, r.Admission, r.Alloc)
 	fmt.Fprintf(&b, "jobs %d (completed %d, failed %d, shed %d, delayed %d), SLO violations %d, attainment %.1f%%\n",
 		r.Jobs, r.Completed, r.Failed, r.Shed, r.Delayed, r.SLOViolations,
 		100*r.SLOAttainment)
@@ -302,6 +353,10 @@ func (r *Report) String() string {
 		r.TotalUSD, r.VMBaseUSD, r.VMAutoscaleUSD, r.LambdaUSD)
 	fmt.Fprintf(&b, "vm-hours %.3f; released idle %d, saved %.3f vm-h = $%.4f\n",
 		r.VMHours, r.VMsReleasedIdle, r.VMHoursSaved, r.VMScaledownSavedUSD)
+	if r.PredictedJobs > 0 {
+		fmt.Fprintf(&b, "cost-manager predictions: %d jobs, mean |run err| %.1f%%, mean |cost err| %.1f%%\n",
+			r.PredictedJobs, 100*r.MeanAbsRunPredErr, 100*r.MeanAbsCostPredErr)
+	}
 	fmt.Fprintf(&b, "%-4s %-20s %6s %10s %10s %8s %7s %5s %9s\n",
 		"id", "name", "cores", "queued", "ran", "stretch", "slo", "vm/la", "cost")
 	for _, j := range r.JobReports {

@@ -1,0 +1,50 @@
+package costmgr
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzLoadProfiles feeds arbitrary bytes to the profile-file parser. The
+// contract: never panic, reject with an error rather than returning a
+// half-valid file, and any accepted file survives Manager construction
+// and answers a Decide call for each of its curves.
+func FuzzLoadProfiles(f *testing.F) {
+	if buf, err := testFile().JSON(); err == nil {
+		f.Add(buf)
+	}
+	for _, seed := range []string{
+		"", "{}", "[]", "null", `{"version":1}`,
+		`{"version":1,"curves":[]}`,
+		`{"version":2,"curves":[{"workload":"w","substrate":"vm","points":[{"parallelism":1,"exec_time_us":1,"cost_usd":0}]}]}`,
+		`{"version":1,"curves":[{"workload":"w","substrate":"vm","points":[{"parallelism":1,"exec_time_us":1,"cost_usd":0}]}]}`,
+		`{"version":1,"curves":[{"workload":"w","substrate":"vm","points":[{"parallelism":2,"exec_time_us":1,"cost_usd":0},{"parallelism":1,"exec_time_us":1,"cost_usd":0}]}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			if file != nil {
+				t.Errorf("Parse returned both a file and error %v", err)
+			}
+			return
+		}
+		m, err := NewManager(file)
+		if err != nil {
+			t.Fatalf("Parse accepted a file NewManager rejects: %v", err)
+		}
+		for _, c := range file.Curves {
+			d, err := m.Decide(MinCost, Request{
+				Workload: c.Workload, Substrate: c.Substrate,
+				Fallback: 1, Deadline: time.Hour,
+			})
+			if err != nil {
+				t.Fatalf("Decide on accepted curve %s/%s: %v", c.Workload, c.Substrate, err)
+			}
+			if d.Cores < 1 {
+				t.Fatalf("Decide picked %d cores", d.Cores)
+			}
+		}
+	})
+}

@@ -74,6 +74,11 @@ const (
 	VMReleaseIdle Type = "vm_release_idle"
 	ClusterShed   Type = "cluster_job_shed"
 	ClusterDelay  Type = "cluster_job_delay"
+
+	// Cost manager: the profile-driven allocation decision for an
+	// arriving job (Cores = chosen R; Note = policy, predicted run time
+	// and cost, and whether a profile or the fallback informed it).
+	CostPick Type = "cost_pick"
 )
 
 // Valid reports whether t is a known event type.
@@ -87,7 +92,7 @@ func (t Type) Valid() bool {
 		CoreLease, CoreRelease,
 		ClusterArrive, ClusterAdmit, ClusterFinish, ClusterFail,
 		SLOViolate, SegueCoreGrant, AutoscaleOrder,
-		VMReleaseIdle, ClusterShed, ClusterDelay:
+		VMReleaseIdle, ClusterShed, ClusterDelay, CostPick:
 		return true
 	}
 	return false

@@ -30,10 +30,12 @@ type TraceFile struct {
 }
 
 // Reserved Catapult color names used to tell the substrates apart: VM task
-// slices render green, Lambda slices orange (see OBSERVABILITY.md).
+// slices render green, Lambda slices orange, and cost-manager allocation
+// decisions light blue (see OBSERVABILITY.md).
 const (
-	cnameVM     = "thread_state_running"
-	cnameLambda = "thread_state_iowait"
+	cnameVM       = "thread_state_running"
+	cnameLambda   = "thread_state_iowait"
+	cnameCostPick = "vsync_highlight_color"
 )
 
 // driverTID is the per-process track carrying job and stage slices; each
@@ -179,6 +181,14 @@ func BuildTrace(events []Event) *TraceFile {
 					pidOf(e.App), tidOf(e.App, e.Exec, s.Kind), "grey",
 					map[string]any{"exec": e.Exec, "kind": s.Kind, "reason": e.Note})
 			}
+		case CostPick:
+			// Allocation decisions get their own color so the chosen R
+			// stands out on the driver track next to the arrival marker.
+			instants = append(instants, TraceEvent{
+				Name: fmt.Sprintf("cost_pick R=%d", e.Cores), Cat: string(e.Type),
+				Ph: "i", TS: e.TS, PID: pidOf(e.App), TID: driverTID,
+				Scope: "p", CName: cnameCostPick, Args: argsFor(e),
+			})
 		case Segue, ExecutorDrain, SegueCoreGrant, SLOViolate, ClusterArrive,
 			StageResubmitted, TaskSpeculated, AutoscaleOrder,
 			ClusterShed, ClusterDelay:

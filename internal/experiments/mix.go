@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"splitserve/internal/cloud"
+	"splitserve/internal/cluster"
+	"splitserve/internal/costmgr"
+	"splitserve/internal/eventlog"
+	"splitserve/internal/workloads"
+)
+
+// mixFactories is the calibrated workload mix the cluster tooling draws
+// from; the names double as profile-curve keys, so `splitserve-profile
+// -out` and `splitserve-cluster -cores auto` agree on vocabulary.
+var mixFactories = map[string]func(seed uint64) workloads.Workload{
+	"sparkpi":  NewSparkPi,
+	"pagerank": NewPageRank,
+	"kmeans":   NewKMeans,
+	"tpcds":    func(seed uint64) workloads.Workload { return NewTPCDSQuery("q95") },
+}
+
+// MixWorkload resolves a cluster-mix workload name to its calibrated
+// factory.
+func MixWorkload(name string) (func(seed uint64) workloads.Workload, bool) {
+	mk, ok := mixFactories[name]
+	return mk, ok
+}
+
+// MixNames lists the accepted mix workload names, sorted.
+func MixNames() []string {
+	names := make([]string, 0, len(mixFactories))
+	for n := range mixFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileParallelisms is the default ladder of profiled core counts: the
+// powers of two the paper's Figure 4 sweeps, stopping where the cluster
+// pool sizes top out.
+var ProfileParallelisms = []int{1, 2, 4, 8, 16}
+
+// BuildProfileFile profiles each named mix workload on both substrates
+// (all-VM and all-Lambda SplitServe scenarios) across the given
+// parallelism ladder and assembles the versioned costmgr profile file.
+// Curves come out in (workload, substrate) sorted order so the file is
+// byte-stable for a given seed. A nil bus skips event logging.
+func BuildProfileFile(seed uint64, names []string, pars []int, bus *eventlog.Bus) (*costmgr.File, error) {
+	if len(names) == 0 {
+		names = MixNames()
+	}
+	if len(pars) == 0 {
+		pars = ProfileParallelisms
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+
+	f := &costmgr.File{Version: costmgr.Version, Seed: seed}
+	for _, name := range sorted {
+		mk, ok := mixFactories[name]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown workload %q (accepted: %s)",
+				name, strings.Join(MixNames(), ", "))
+		}
+		for _, substrate := range []string{costmgr.SubstrateLambda, costmgr.SubstrateVM} {
+			kind := SSFullVM
+			if substrate == costmgr.SubstrateLambda {
+				kind = SSLambda
+			}
+			curve := costmgr.Curve{Workload: name, Substrate: substrate}
+			for _, par := range pars {
+				workerType, _ := cloud.SmallestFor(par)
+				res, err := Run(Scenario{
+					Kind: kind, R: par, SmallR: par,
+					WorkerVMType: workerType,
+					MasterVMType: cloud.M4XLarge,
+					Seed:         seed,
+					Events:       bus,
+					AppID:        fmt.Sprintf("profile-%s-%s-x%d", name, substrate, par),
+				}, mk(seed))
+				if err != nil {
+					return nil, fmt.Errorf("profile %s/%s x%d: %w", name, substrate, par, err)
+				}
+				curve.Points = append(curve.Points, costmgr.Point{
+					Parallelism: par,
+					ExecTimeUS:  res.ExecTime.Microseconds(),
+					CostUSD:     res.CostUSD,
+				})
+			}
+			f.Curves = append(f.Curves, curve)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("profile: built an invalid file: %w", err)
+	}
+	return f, nil
+}
+
+// CostManagerRun is one alloc configuration of the comparison: the label
+// ("fixed" or a policy name), the cluster report it produced, and the
+// per-job decisions that sized it (empty for fixed).
+type CostManagerRun struct {
+	Alloc     string
+	Report    *cluster.Report
+	Decisions []costmgr.Decision
+}
+
+// CostManagerComparison reruns the ClusterComparison job stream (six
+// jobs, Poisson arrivals, shared 8-core pool, bridge strategy) once with
+// the fixed per-job demand R=8 and once per cost-manager policy sizing
+// each arriving job from the profile file. Same seed → the same arrival
+// process and workloads in every run, so cost and SLO deltas are purely
+// the allocator's doing.
+func CostManagerComparison(seed uint64, profiles *costmgr.File) ([]CostManagerRun, error) {
+	mgr, err := costmgr.NewManager(profiles)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		jobs       = 6
+		fixedCores = 8
+		poolCores  = 8
+		sloFactor  = 1.5
+	)
+	mix := []string{"sparkpi", "pagerank", "kmeans"}
+
+	arrivals, err := cluster.ParseArrivals("poisson:30s", jobs, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baselines are per (workload, cores): the fixed run calibrates at 8,
+	// auto runs at whatever R the policy picked.
+	type baseKey struct {
+		name  string
+		cores int
+	}
+	baselines := map[baseKey]time.Duration{}
+	baseline := func(name string, cores int) (time.Duration, error) {
+		k := baseKey{name, cores}
+		if b, ok := baselines[k]; ok {
+			return b, nil
+		}
+		b, err := cluster.Baseline(mixFactories[name](seed), cores, seed)
+		if err != nil {
+			return 0, fmt.Errorf("cost comparison: baseline %s x%d: %w", name, cores, err)
+		}
+		baselines[k] = b
+		return b, nil
+	}
+
+	runOne := func(alloc string, cores []int, picks []*cluster.CostPick) (*cluster.Report, error) {
+		specs := make([]cluster.JobSpec, jobs)
+		for i, at := range arrivals {
+			name := mix[i%len(mix)]
+			base, err := baseline(name, cores[i])
+			if err != nil {
+				return nil, err
+			}
+			specs[i] = cluster.JobSpec{
+				Name:     name,
+				Workload: mixFactories[name](seed + uint64(i)),
+				Cores:    cores[i],
+				Arrival:  at,
+				Baseline: base,
+				Pick:     picks[i],
+			}
+		}
+		s, err := cluster.New(cluster.Config{
+			Jobs:      specs,
+			PoolCores: poolCores,
+			Policy:    cluster.FairShare(),
+			Strategy:  cluster.StrategyBridge,
+			SLOFactor: sloFactor,
+			Seed:      seed,
+			Alloc:     alloc,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cost comparison %s: %w", alloc, err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("cost comparison %s: %w", alloc, err)
+		}
+		return rep, nil
+	}
+
+	var out []CostManagerRun
+
+	fixed := make([]int, jobs)
+	for i := range fixed {
+		fixed[i] = fixedCores
+	}
+	rep, err := runOne("fixed", fixed, make([]*cluster.CostPick, jobs))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, CostManagerRun{Alloc: "fixed", Report: rep})
+
+	for _, pol := range []costmgr.Policy{costmgr.MinCost, costmgr.MinTime, costmgr.Knee} {
+		cores := make([]int, jobs)
+		picks := make([]*cluster.CostPick, jobs)
+		decisions := make([]costmgr.Decision, jobs)
+		for i := range arrivals {
+			name := mix[i%len(mix)]
+			d, err := mgr.Decide(pol, costmgr.Request{
+				Workload:  name,
+				MaxCores:  poolCores,
+				Fallback:  fixedCores,
+				SLOFactor: sloFactor,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cost comparison %s job %d: %w", pol, i, err)
+			}
+			cores[i] = d.Cores
+			decisions[i] = d
+			picks[i] = &cluster.CostPick{
+				Policy:           d.Policy,
+				PredictedRun:     d.PredictedRun(),
+				PredictedCostUSD: d.PredictedCostUSD,
+				Source:           d.Source,
+			}
+		}
+		rep, err := runOne(pol.String(), cores, picks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CostManagerRun{Alloc: pol.String(), Report: rep, Decisions: decisions})
+	}
+	return out, nil
+}
+
+// FormatCostManagerComparison renders the fixed-vs-auto sweep as a table:
+// total cost, SLO attainment and VM-hours per alloc mode, plus the cost
+// manager's mean absolute prediction error where predictions exist.
+func FormatCostManagerComparison(runs []CostManagerRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %5s %6s %10s %9s %9s %10s\n",
+		"alloc", "jobs", "viol", "attain", "vm-hours", "cost", "la-cost", "|pred err|")
+	for _, run := range runs {
+		r := run.Report
+		predErr := "-"
+		if r.PredictedJobs > 0 {
+			predErr = fmt.Sprintf("%.1f%%", 100*r.MeanAbsRunPredErr)
+		}
+		fmt.Fprintf(&b, "%-10s %6d %5d %5.1f%% %10.3f %8.2f$ %8.2f$ %10s\n",
+			run.Alloc, r.Jobs, r.SLOViolations, 100*r.SLOAttainment,
+			r.VMHours, r.TotalUSD, r.LambdaUSD, predErr)
+	}
+	for _, run := range runs {
+		if len(run.Decisions) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s picks:", run.Alloc)
+		for _, d := range run.Decisions {
+			fmt.Fprintf(&b, " %s=%d", d.Workload, d.Cores)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
