@@ -8,6 +8,9 @@ package splitserve
 //	usd/x         — the scenario's marginal dollar cost
 //
 // Run with: go test -bench=. -benchmem
+//
+// With BENCH_JSON=FILE set, the custom metrics are additionally written
+// to FILE as JSON after the run (see benchjson_test.go and `make bench`).
 
 import (
 	"fmt"
@@ -22,8 +25,8 @@ import (
 
 // report attaches a scenario result to a benchmark.
 func report(b *testing.B, label string, secs, usd float64) {
-	b.ReportMetric(secs, "sim-seconds/"+label)
-	b.ReportMetric(usd, "usd/"+label)
+	recordMetric(b, secs, "sim-seconds/"+label)
+	recordMetric(b, usd, "usd/"+label)
 }
 
 // BenchmarkFig1CostCurve regenerates the Lambda-vs-VM cost comparison and
@@ -40,7 +43,7 @@ func BenchmarkFig1CostCurve(b *testing.B) {
 			}
 		}
 	}
-	b.ReportMetric(cross, "crossover-seconds")
+	recordMetric(b, cross, "crossover-seconds")
 }
 
 // BenchmarkFig2Forecast regenerates the diurnal provisioning analysis.
@@ -49,9 +52,9 @@ func BenchmarkFig2Forecast(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f = experiments.Figure2()
 	}
-	b.ReportMetric(float64(len(f.Series.Shortfalls(2))), "shortfall-samples-k2")
-	b.ReportMetric(f.Policies[0].TotalUSD, "usd-policy-k0")
-	b.ReportMetric(f.Policies[2].TotalUSD, "usd-policy-k2")
+	recordMetric(b, float64(len(f.Series.Shortfalls(2))), "shortfall-samples-k2")
+	recordMetric(b, f.Policies[0].TotalUSD, "usd-policy-k0")
+	recordMetric(b, f.Policies[2].TotalUSD, "usd-policy-k2")
 }
 
 // fig4Sweep is a reduced Figure 4 sweep (one dataset size) per iteration.
@@ -82,8 +85,8 @@ func fig4Sweep(b *testing.B, lambda bool) {
 			}
 		}
 	}
-	b.ReportMetric(minPar, "optimal-parallelism")
-	b.ReportMetric(minTime, "optimal-sim-seconds")
+	recordMetric(b, minPar, "optimal-parallelism")
+	recordMetric(b, minTime, "optimal-sim-seconds")
 }
 
 // BenchmarkFig4ProfileLambda regenerates Figure 4a (all-Lambda U-curve).
@@ -108,7 +111,7 @@ func BenchmarkFig5TPCDS(b *testing.B) {
 	report(b, "qubole", avg["Qubole 32 La"].Seconds(), 0)
 	report(b, "hybrid", avg["SS 8 VM / 24 La"].Seconds(), 0)
 	if imp, err := experiments.Speedup(res, "Spark 8/32 autoscale", "SS 8 VM / 24 La"); err == nil {
-		b.ReportMetric(imp*100, "pct-better-than-autoscale")
+		recordMetric(b, imp*100, "pct-better-than-autoscale")
 	}
 }
 
@@ -146,7 +149,7 @@ func BenchmarkFig7Timeline(b *testing.B) {
 	}
 	// The segue run must actually have drained lambdas.
 	segues := res[2].Log.ByKind("segue_commence")
-	b.ReportMetric(float64(len(segues)), "segue-events")
+	recordMetric(b, float64(len(segues)), "segue-events")
 	report(b, "segue-run", res[2].ExecTime.Seconds(), res[2].CostUSD)
 }
 
@@ -321,7 +324,7 @@ func BenchmarkExtensionDaySim(b *testing.B) {
 		rows = autoscale.CompareDayStrategies(1)
 	}
 	for _, r := range rows {
-		b.ReportMetric(r.TotalUSD, "usd-day/"+r.Label())
-		b.ReportMetric(float64(r.SLOViolations), "violations/"+r.Label())
+		recordMetric(b, r.TotalUSD, "usd-day/"+r.Label())
+		recordMetric(b, float64(r.SLOViolations), "violations/"+r.Label())
 	}
 }

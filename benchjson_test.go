@@ -1,0 +1,112 @@
+package splitserve
+
+// The BENCH_JSON recorder: when the environment variable is set to a
+// path, every custom metric the benchmarks report (via recordMetric) is
+// also collected and written there as one JSON document after the run —
+// `make bench` uses it so figure results are machine-readable, not just
+// terminal scroll.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// benchJSONSchema identifies the bench-metrics.json layout.
+const benchJSONSchema = "splitserve-benchjson/v1"
+
+var benchMetrics = struct {
+	sync.Mutex
+	m map[string]map[string]float64 // benchmark name -> unit -> value
+}{m: map[string]map[string]float64{}}
+
+// recordMetric is the benchmarks' ReportMetric wrapper: identical output
+// in the -bench text, plus capture for the BENCH_JSON recorder.
+func recordMetric(b *testing.B, value float64, unit string) {
+	b.ReportMetric(value, unit)
+	benchMetrics.Lock()
+	defer benchMetrics.Unlock()
+	mm := benchMetrics.m[b.Name()]
+	if mm == nil {
+		mm = map[string]float64{}
+		benchMetrics.m[b.Name()] = mm
+	}
+	mm[unit] = value
+}
+
+type benchJSONFile struct {
+	Schema     string                        `json:"schema"`
+	GoVersion  string                        `json:"go_version"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		if err := writeBenchJSON(path); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_JSON:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchJSON(path string) error {
+	benchMetrics.Lock()
+	defer benchMetrics.Unlock()
+	if len(benchMetrics.m) == 0 {
+		return fmt.Errorf("no benchmark metrics recorded (run with -bench)")
+	}
+	buf, err := json.MarshalIndent(benchJSONFile{
+		Schema:     benchJSONSchema,
+		GoVersion:  runtime.Version(),
+		Benchmarks: benchMetrics.m,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// TestBenchJSONRecorder exercises the capture path without -bench: the
+// recorder must keep per-benchmark metrics separate and render to the
+// stable schema.
+func TestBenchJSONRecorder(t *testing.T) {
+	benchMetrics.Lock()
+	saved := benchMetrics.m
+	benchMetrics.m = map[string]map[string]float64{}
+	benchMetrics.Unlock()
+	defer func() {
+		benchMetrics.Lock()
+		benchMetrics.m = saved
+		benchMetrics.Unlock()
+	}()
+
+	testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+		recordMetric(b, 42, "sim-seconds/x")
+		recordMetric(b, 0.5, "usd/x")
+	})
+
+	benchMetrics.Lock()
+	defer benchMetrics.Unlock()
+	var names []string
+	for name := range benchMetrics.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) != 1 {
+		t.Fatalf("recorded benchmarks = %v, want 1", names)
+	}
+	got := benchMetrics.m[names[0]]
+	if got["sim-seconds/x"] != 42 || got["usd/x"] != 0.5 {
+		t.Fatalf("metrics = %v", got)
+	}
+}

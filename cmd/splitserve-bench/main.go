@@ -41,10 +41,27 @@ func run() int {
 		evLog   = flag.String("eventlog", "", cliutil.EventLogUsage+" (collected from result-bearing figures 5, 6, 7, 9)")
 		trace   = flag.String("trace", "", cliutil.TraceUsage+" (collected from result-bearing figures 5, 6, 7, 9)")
 	)
+	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
 	if err := cliutil.ValidateReport(*report); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
 		return 2
+	}
+	prof, err := perf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
+		return 2
+	}
+	defer perf.Stop()
+	// Figures build their scenarios deep inside experiments; the
+	// package-level hook routes the collector to every run.
+	experiments.SetProfiler(prof)
+	writePerf := func() int {
+		if err := perf.WriteSnapshot(prof); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *daysim {
@@ -52,7 +69,7 @@ func run() int {
 		for _, r := range autoscale.CompareDayStrategies(*seed) {
 			fmt.Println(r)
 		}
-		return 0
+		return writePerf()
 	}
 
 	if *summary {
@@ -60,7 +77,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
 			return 1
 		}
-		return 0
+		return writePerf()
 	}
 
 	figs := []string{*fig}
@@ -82,7 +99,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-bench:", err)
 		return 1
 	}
-	return 0
+	return writePerf()
 }
 
 // collectEvents appends each run's event stream to *sink; distinct app IDs

@@ -94,32 +94,49 @@ func main() {
 
 func run() int {
 	var (
-		jobs     = flag.Int("jobs", 8, "number of jobs in the stream")
-		mixSpec  = flag.String("mix", "sparkpi,pagerank,kmeans", "comma-separated workload mix: "+mixNames())
-		arrival  = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,... | tracefile:PATH")
-		policy   = flag.String("policy", "fair", "core-sharing policy: fifo | fair")
-		strategy = flag.String("strategy", "bridge", "shortfall strategy: queue | autoscale | bridge")
-		slo      = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
-		pool     = flag.Int("pool", 16, "shared VM pool size in cores")
-		cores    = flag.String("cores", "8", "per-job core demand R, or \"auto\" to let the cost manager size each job (-profiles)")
-		profiles = flag.String("profiles", "", "profile file from `splitserve-profile -out` (required with -cores auto)")
-		alloc    = flag.String("alloc", "min-cost", "cost-manager policy with -cores auto: min-cost | min-time | knee")
-		budget   = flag.Float64("budget", 0, "per-job predicted-cost cap in USD for -alloc min-time (0 = uncapped)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		report   = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
-		compare  = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
-		costcmp  = flag.Bool("costcompare", false, "run the fixed-R vs cost-manager comparison (requires -profiles)")
+		jobs      = flag.Int("jobs", 8, "number of jobs in the stream")
+		mixSpec   = flag.String("mix", "sparkpi,pagerank,kmeans", "comma-separated workload mix: "+mixNames())
+		arrival   = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,... | tracefile:PATH")
+		policy    = flag.String("policy", "fair", "core-sharing policy: fifo | fair")
+		strategy  = flag.String("strategy", "bridge", "shortfall strategy: queue | autoscale | bridge")
+		slo       = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
+		pool      = flag.Int("pool", 16, "shared VM pool size in cores")
+		cores     = flag.String("cores", "8", "per-job core demand R, or \"auto\" to let the cost manager size each job (-profiles)")
+		profiles  = flag.String("profiles", "", "profile file from `splitserve-profile -out` (required with -cores auto)")
+		alloc     = flag.String("alloc", "min-cost", "cost-manager policy with -cores auto: min-cost | min-time | knee")
+		budget    = flag.Float64("budget", 0, "per-job predicted-cost cap in USD for -alloc min-time (0 = uncapped)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		report    = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
+		compare   = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+		costcmp   = flag.Bool("costcompare", false, "run the fixed-R vs cost-manager comparison (requires -profiles)")
 		scaledown = flag.Duration("scaledown", 0, "release autoscale-procured VMs idle for this long back to the provider (0 disables)")
 		admission = flag.String("admission", "greedy", "admission policy: greedy | deadline (delay or shed jobs whose SLO is unattainable)")
 		elastic   = flag.Bool("elastic", false, "run the elasticity comparison: keep-forever vs -scaledown vs -scaledown plus deadline admission")
 		eventLog  = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace     = flag.String("trace", "", cliutil.TraceUsage)
 	)
+	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
 
 	if err := cliutil.ValidateReport(*report); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 2
+	}
+	prof, err := perf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	defer perf.Stop()
+	// The comparison subcommands run through experiments; route the
+	// collector to them via the package-level hook.
+	experiments.SetProfiler(prof)
+	writePerf := func() int {
+		if err := perf.WriteSnapshot(prof); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *compare {
@@ -130,7 +147,7 @@ func run() int {
 		}
 		fmt.Println("== multi-job day: shortfall strategies on one shared pool, real DAGs ==")
 		fmt.Print(experiments.FormatClusterComparison(reps))
-		return 0
+		return writePerf()
 	}
 
 	if *elastic {
@@ -145,7 +162,7 @@ func run() int {
 		}
 		fmt.Println("== elasticity: keep-forever vs idle scale-down vs deadline admission ==")
 		fmt.Print(experiments.FormatClusterElasticity(reps))
-		return 0
+		return writePerf()
 	}
 
 	if *costcmp {
@@ -165,7 +182,7 @@ func run() int {
 		}
 		fmt.Println("== cost manager: fixed per-job R vs profile-driven allocation ==")
 		fmt.Print(experiments.FormatCostManagerComparison(runs))
-		return 0
+		return writePerf()
 	}
 
 	mix, err := parseMix(*mixSpec)
@@ -292,6 +309,7 @@ func run() int {
 		Admission:     adm,
 		ScaleDownIdle: *scaledown,
 		Alloc:         allocLabel,
+		Prof:          prof,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
@@ -327,5 +345,5 @@ func run() int {
 	default:
 		fmt.Print(rep)
 	}
-	return 0
+	return writePerf()
 }

@@ -21,6 +21,7 @@ import (
 	"splitserve"
 	"splitserve/internal/cliutil"
 	"splitserve/internal/eventlog"
+	"splitserve/internal/perfstat"
 )
 
 var scenarioByName = map[string]splitserve.ScenarioKind{
@@ -57,12 +58,21 @@ func run() int {
 		seed     = flag.Uint64("seed", 1, "inline run: simulation seed")
 		factor   = flag.Float64("factor", eventlog.DefaultStragglerFactor,
 			"straggler cut as a multiple of the stage median task duration")
-		trace = flag.String("trace", "", cliutil.TraceUsage)
-		serve = flag.String("serve", "", "serve the timeline over HTTP at this address (e.g. :8080) instead of printing")
+		trace  = flag.String("trace", "", cliutil.TraceUsage)
+		serve  = flag.String("serve", "", "serve the timeline over HTTP at this address (e.g. :8080) instead of printing")
+		perfin = flag.String("perfin", "", "saved perfstat snapshot (from any command's -perf) to render on the /perf page")
 	)
+	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
 
-	events, err := loadEvents(*logPath, *workload, *scenario, *r, *small, *seed)
+	prof, err := perf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+		return 2
+	}
+	defer perf.Stop()
+
+	events, err := loadEvents(*logPath, *workload, *scenario, *r, *small, *seed, prof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
 		return 1
@@ -78,10 +88,31 @@ func run() int {
 
 	analysis := eventlog.Analyze(events, *factor)
 
+	// The /perf page renders a saved snapshot (-perfin) or, failing that,
+	// the profile of this process's own inline run (-perf).
+	var snap *perfstat.Snapshot
+	if *perfin != "" {
+		buf, err := os.ReadFile(*perfin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+			return 1
+		}
+		if snap, err = perfstat.ParseSnapshot(buf); err != nil {
+			fmt.Fprintf(os.Stderr, "splitserve-history: %s: %v\n", *perfin, err)
+			return 1
+		}
+	} else if prof != nil {
+		snap = prof.Snapshot()
+	}
+	if err := perf.WriteSnapshot(prof); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+		return 1
+	}
+
 	if *serve != "" {
-		fmt.Fprintf(os.Stderr, "splitserve-history: serving %d events on http://%s/ (/, /trace, /analysis, /log)\n",
+		fmt.Fprintf(os.Stderr, "splitserve-history: serving %d events on http://%s/ (/, /trace, /analysis, /log, /perf)\n",
 			len(events), strings.TrimPrefix(*serve, ":"))
-		if err := serveHistory(*serve, events, analysis); err != nil {
+		if err := serveHistory(*serve, events, analysis, snap); err != nil {
 			fmt.Fprintln(os.Stderr, "splitserve-history:", err)
 			return 1
 		}
@@ -95,7 +126,7 @@ func run() int {
 
 // loadEvents reads a saved JSONL log, or runs the requested scenario
 // inline when no log is given.
-func loadEvents(path, workload, scenario string, r, small int, seed uint64) ([]eventlog.Event, error) {
+func loadEvents(path, workload, scenario string, r, small int, seed uint64, prof *perfstat.Collector) ([]eventlog.Event, error) {
 	if path == "-" {
 		return eventlog.ReadJSONL(os.Stdin)
 	}
@@ -117,6 +148,9 @@ func loadEvents(path, workload, scenario string, r, small int, seed uint64) ([]e
 		return nil, err
 	}
 	opts := []splitserve.Option{splitserve.WithSeed(seed)}
+	if prof != nil {
+		opts = append(opts, splitserve.WithSelfProfile(prof))
+	}
 	cores := w.DefaultParallelism()
 	if r > 0 {
 		cores = r
@@ -162,15 +196,16 @@ func spanOf(events []eventlog.Event) string {
 }
 
 // serveHistory exposes the replayed run over HTTP: an HTML timeline at /,
-// the Chrome trace JSON at /trace, the analytics text at /analysis, and
-// the raw log at /log.
-func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analysis) error {
+// the Chrome trace JSON at /trace, the analytics text at /analysis, the
+// raw log at /log, and host-side self-profiling at /perf.
+func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analysis, snap *perfstat.Snapshot) error {
 	traceJSON, err := eventlog.ChromeTrace(events)
 	if err != nil {
 		return err
 	}
 	page := renderHTML(analysis)
 	analysisText := analysis.String()
+	perfPage := renderPerfHTML(snap)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
@@ -193,6 +228,10 @@ func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analy
 	mux.HandleFunc("/log", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		eventlog.WriteJSONL(w, events)
+	})
+	mux.HandleFunc("/perf", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(perfPage)
 	})
 	return http.ListenAndServe(addr, mux)
 }

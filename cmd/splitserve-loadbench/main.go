@@ -1,0 +1,152 @@
+// Command splitserve-loadbench measures the simulator's own hot paths —
+// the cluster scheduler, the engine yield protocol, the simclock event
+// heap — by pushing streams of tiny jobs through the real machinery and
+// writing a stable-schema BENCH_<label>.json trajectory point:
+//
+//	splitserve-loadbench                          # 100/1k/10k jobs -> BENCH_dev.json
+//	splitserve-loadbench -label baseline          # -> BENCH_baseline.json
+//	splitserve-loadbench -jobs 100,1000 -out -    # small run to stdout
+//	splitserve-loadbench -compare OLD NEW         # diff two files, exit 1 past -threshold
+//
+// The measurements are host wall-clock data ("deterministic": false);
+// the simulated runs themselves stay seed-deterministic. See
+// OBSERVABILITY.md ("Layer 3: self-profiling") for the schema and the
+// regression-gate workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"splitserve/internal/cliutil"
+	"splitserve/internal/loadbench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jobsSpec  = flag.String("jobs", "100,1000,10000", "comma-separated job counts to measure")
+		label     = flag.String("label", "dev", "trajectory label; default output is BENCH_<label>.json")
+		out       = flag.String("out", "", "output path (- = stdout; default BENCH_<label>.json)")
+		seed      = flag.Uint64("seed", 1, "simulation seed (the runs are deterministic; the measurements are not)")
+		compare   = flag.Bool("compare", false, "compare two BENCH files: splitserve-loadbench -compare OLD NEW")
+		threshold = flag.Float64("threshold", 0.10, "relative change past which -compare exits nonzero (0.10 = 10% worse)")
+		quiet     = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+	)
+	perf := &cliutil.PerfFlags{}
+	flag.StringVar(&perf.CPUProfile, "cpuprofile", "", cliutil.CPUProfileUsage)
+	flag.StringVar(&perf.MemProfile, "memprofile", "", cliutil.MemProfileUsage)
+	flag.Parse()
+
+	if *compare {
+		return runCompare(flag.Args(), *threshold)
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "splitserve-loadbench: unexpected arguments %q (did you mean -compare OLD NEW?)\n", flag.Args())
+		return 2
+	}
+
+	var counts []int
+	for _, f := range strings.Split(*jobsSpec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "splitserve-loadbench: bad job count %q in -jobs\n", f)
+			return 2
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		fmt.Fprintln(os.Stderr, "splitserve-loadbench: -jobs is empty")
+		return 2
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+
+	if _, err := perf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+		return 2
+	}
+	defer perf.Stop()
+
+	file := &loadbench.File{
+		Schema:    loadbench.SchemaV1,
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		Seed:      *seed,
+	}
+	for _, n := range counts {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "splitserve-loadbench: measuring %d jobs...\n", n)
+		}
+		p, err := loadbench.RunPoint(n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  %d jobs in %.1fs: %.1f jobs/sec, %.0f events/sec, %.1f allocs/event\n",
+				n, p.WallSeconds, p.JobsPerSec, p.EventsPerSec, p.AllocsPerEvent)
+		}
+		file.Points = append(file.Points, p)
+	}
+	if err := perf.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+		return 1
+	}
+	buf, err := file.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+		return 1
+	}
+	if path == "-" {
+		os.Stdout.Write(buf)
+		return 0
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s: %d points, label %q\n", path, len(file.Points), file.Label)
+	return 0
+}
+
+// runCompare diffs OLD NEW and exits 1 when any metric regressed past the
+// threshold — the gate later perf PRs run against the committed baseline.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "splitserve-loadbench: -compare needs exactly two files: OLD NEW")
+		return 2
+	}
+	files := make([]*loadbench.File, 2)
+	for i, path := range args {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+			return 2
+		}
+		if files[i], err = loadbench.Parse(buf); err != nil {
+			fmt.Fprintf(os.Stderr, "splitserve-loadbench: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	res := loadbench.Compare(files[0], files[1], threshold)
+	fmt.Printf("comparing %q (old) vs %q (new):\n", files[0].Label, files[1].Label)
+	fmt.Print(res)
+	if res.Regressed {
+		return 1
+	}
+	return 0
+}

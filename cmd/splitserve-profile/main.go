@@ -63,10 +63,31 @@ func run() int {
 		eventLog   = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace      = flag.String("trace", "", cliutil.TraceUsage)
 	)
+	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
 
+	prof, err := perf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+		return 2
+	}
+	defer perf.Stop()
+	// Sweep samples run through experiments.Run, which picks the collector
+	// up from the package-level hook.
+	experiments.SetProfiler(prof)
+	writePerf := func() int {
+		if err := perf.WriteSnapshot(prof); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-profile:", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *out != "" {
-		return runProfileOut(*out, *workloadsF, *seed, *eventLog, *trace)
+		if code := runProfileOut(*out, *workloadsF, *seed, *eventLog, *trace); code != 0 {
+			return code
+		}
+		return writePerf()
 	}
 	if *workloadsF != "" {
 		fmt.Fprintln(os.Stderr, "splitserve-profile: -workloads only applies with -out")
@@ -183,7 +204,7 @@ func run() int {
 	case "prom":
 		writeProm(os.Stdout, *substrate, all)
 	}
-	return 0
+	return writePerf()
 }
 
 // runProfileOut profiles the cluster mix workloads on both substrates

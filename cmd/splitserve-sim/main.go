@@ -63,6 +63,7 @@ func run() int {
 		eventLog = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace    = flag.String("trace", "", cliutil.TraceUsage)
 	)
+	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
 
 	kind, ok := scenarioByName[*scenario]
@@ -80,10 +81,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 2
 	}
+	prof, err := perf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 2
+	}
+	defer perf.Stop()
 
 	opts := []splitserve.Option{
 		splitserve.WithSeed(*seed),
 		splitserve.WithSegueAt(*segueAt),
+	}
+	if prof != nil {
+		opts = append(opts, splitserve.WithSelfProfile(prof))
 	}
 	if *lambdaTO > 0 {
 		opts = append(opts, splitserve.WithLambdaTimeout(*lambdaTO))
@@ -108,6 +118,10 @@ func run() int {
 		return 1
 	}
 	if err := cliutil.WriteTrace(*trace, res.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 1
+	}
+	if err := perf.WriteSnapshot(prof); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 1
 	}

@@ -1,0 +1,119 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve/internal/perfstat"
+	"splitserve/internal/simclock"
+)
+
+func TestRegisterPerfFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := RegisterPerfFlags(fs)
+	if err := fs.Parse([]string{"-perf", "out.json", "-cpuprofile", "cpu.pb", "-memprofile", "mem.pb"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Perf != "out.json" || p.CPUProfile != "cpu.pb" || p.MemProfile != "mem.pb" {
+		t.Fatalf("parsed flags = %+v", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("Enabled() = false with all three flags set")
+	}
+	if (&PerfFlags{}).Enabled() {
+		t.Fatal("Enabled() = true with no flags set")
+	}
+}
+
+func TestPerfFlagsStartRejectsUnwritablePath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	for _, p := range []*PerfFlags{
+		{Perf: bad},
+		{CPUProfile: bad},
+		{MemProfile: bad},
+	} {
+		if _, err := p.Start(); err == nil {
+			t.Fatalf("Start() accepted unwritable path in %+v", p)
+		}
+	}
+	// The probe must not leave files behind for writable paths either.
+	good := filepath.Join(t.TempDir(), "out.json")
+	p := &PerfFlags{MemProfile: good}
+	if _, err := p.Start(); err != nil {
+		t.Fatalf("Start() rejected writable path: %v", err)
+	}
+	if _, err := os.Stat(good); !os.IsNotExist(err) {
+		t.Fatalf("writability probe left %s behind (stat err = %v)", good, err)
+	}
+}
+
+func TestPerfFlagsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p := &PerfFlags{
+		Perf:       filepath.Join(dir, "perf.json"),
+		CPUProfile: filepath.Join(dir, "cpu.pb"),
+		MemProfile: filepath.Join(dir, "mem.pb"),
+	}
+	prof, err := p.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if prof == nil {
+		t.Fatal("Start returned nil collector despite -perf")
+	}
+	clock := simclock.New(simclock.Epoch)
+	prof.AttachClock(clock)
+	clock.After(time.Second, func() {})
+	clock.Run()
+	if err := p.WriteSnapshot(prof); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	buf, err := os.ReadFile(p.Perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := perfstat.ParseSnapshot(buf)
+	if err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.Deterministic || snap.EventsFired != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for _, f := range []string{p.CPUProfile, filepath.Join(dir, "mem.pb")} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
+	}
+	// Stop is idempotent.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestPerfFlagsOffIsNoOp(t *testing.T) {
+	p := &PerfFlags{}
+	prof, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof != nil {
+		t.Fatal("Start returned a collector with -perf off")
+	}
+	if err := p.WriteSnapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfUsageMentionsStdout(t *testing.T) {
+	if !strings.Contains(PerfUsage, "-") || !strings.Contains(PerfUsage, "stdout") {
+		t.Fatalf("PerfUsage should document the - = stdout convention: %q", PerfUsage)
+	}
+}

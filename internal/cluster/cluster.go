@@ -21,6 +21,7 @@ import (
 	"splitserve/internal/hdfs"
 	"splitserve/internal/metrics"
 	"splitserve/internal/netsim"
+	"splitserve/internal/perfstat"
 	"splitserve/internal/simclock"
 	"splitserve/internal/simrand"
 	"splitserve/internal/spark/engine"
@@ -134,6 +135,11 @@ type Config struct {
 	Seed           uint64
 	// MaxSimTime bounds the whole run (default 48h).
 	MaxSimTime time.Duration
+	// Prof, when non-nil, collects host-side self-profiling (wall time
+	// per clock step, goroutine-handoff cost, run-queue depth, event-type
+	// counts). It only observes — same-seed reports and event logs stay
+	// byte-identical with profiling on or off.
+	Prof *perfstat.Collector
 }
 
 type jobPhase int
@@ -268,6 +274,9 @@ type Scheduler struct {
 
 	kicked bool
 	ran    bool
+
+	// prof is the optional self-profiler (nil = off, all calls no-ops).
+	prof *perfstat.Collector
 }
 
 // New validates cfg and assembles the shared simulation: clock, network,
@@ -353,8 +362,10 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg: cfg, clock: clock, net: net, hub: hub,
 		provider: provider, fs: fs, pool: pool, bus: bus,
 		insts: newClusterInstruments(hub), baseVMs: baseVMs,
-		scaleCheck: make(map[string]bool),
+		scaleCheck: make(map[string]bool), prof: cfg.Prof,
 	}
+	s.prof.AttachClock(clock)
+	s.prof.ObserveBus(bus)
 	for i, spec := range cfg.Jobs {
 		if spec.Name == "" {
 			spec.Name = spec.Workload.Name()
@@ -410,8 +421,7 @@ func (s *Scheduler) Run() (*Report, error) {
 	for len(s.parkedJobs) > 0 {
 		j := s.parkedJobs[0]
 		s.parkedJobs = s.parkedJobs[1:]
-		j.co.resume <- false
-		s.awaitPark(j)
+		s.resumeAndAwait(j, false)
 	}
 	for _, j := range s.jobs {
 		if j.active() {
@@ -600,6 +610,9 @@ func (s *Scheduler) updateGauges() {
 	}
 	s.insts.jobsQueued.Set(float64(queued))
 	s.insts.jobsRunning.Set(float64(running))
+	// Run-queue depth for the self-profiler: jobs waiting for cores plus
+	// workloads parked awaiting resume.
+	s.prof.SampleQueueDepth(queued + len(s.parkedJobs))
 }
 
 func (s *Scheduler) admit(j *job) {
@@ -629,6 +642,7 @@ func (s *Scheduler) admit(j *job) {
 		TaskDispatchCost:    dispatchCost,
 		MaxSimTime:          s.cfg.MaxSimTime,
 		Yield: func(ready func() bool) bool {
+			s.prof.CountYield()
 			co.ready = ready
 			co.parked <- struct{}{}
 			return <-co.resume
@@ -656,6 +670,12 @@ func (s *Scheduler) runJob(j *job) {
 		j.co.finished = true
 		j.co.parked <- struct{}{}
 	}()
+	if s.prof != nil {
+		start := time.Now()
+		s.awaitPark(j)
+		s.prof.ObserveHandoff(time.Since(start))
+		return
+	}
 	s.awaitPark(j)
 }
 
@@ -666,6 +686,21 @@ func (s *Scheduler) awaitPark(j *job) {
 	if !j.co.finished {
 		s.parkedJobs = append(s.parkedJobs, j)
 	}
+}
+
+// resumeAndAwait wakes j's parked workload (ok=false aborts it) and
+// blocks until it parks again or finishes, timing the whole handoff for
+// the self-profiler when one is attached.
+func (s *Scheduler) resumeAndAwait(j *job, ok bool) {
+	if s.prof != nil {
+		start := time.Now()
+		j.co.resume <- ok
+		s.awaitPark(j)
+		s.prof.ObserveHandoff(time.Since(start))
+		return
+	}
+	j.co.resume <- ok
+	s.awaitPark(j)
 }
 
 // pump resumes every parked workload whose engine job has completed,
@@ -682,8 +717,7 @@ func (s *Scheduler) pump() {
 			}
 			s.parkedJobs = append(s.parkedJobs[:i], s.parkedJobs[i+1:]...)
 			i--
-			j.co.resume <- true
-			s.awaitPark(j)
+			s.resumeAndAwait(j, true)
 			progressed = true
 		}
 		if !progressed {

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"splitserve/internal/perfstat"
+)
+
+// TestPerfstatDeterminismIsolation is the contract that makes perfstat safe
+// to ship on by default: the collector reads simulation state but never
+// schedules, emits, or draws randomness, so a same-seed run with profiling
+// enabled must produce a byte-identical report and event log. Only the
+// perfstat snapshot itself — wall-clock data, marked "deterministic": false
+// — is allowed to vary between runs.
+func TestPerfstatDeterminismIsolation(t *testing.T) {
+	run := func(prof *perfstat.Collector) (report, log []byte) {
+		arrivals, err := ParseArrivals("poisson:6s", 5, 1)
+		if err != nil {
+			t.Fatalf("ParseArrivals: %v", err)
+		}
+		s, err := New(Config{
+			Jobs:      testJobs(t, arrivals, 4, 8, 4),
+			PoolCores: 4,
+			Policy:    FairShare(),
+			Strategy:  StrategyBridge,
+			SLOFactor: 2,
+			Seed:      7,
+			Prof:      prof,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		report, err = rep.JSON()
+		if err != nil {
+			t.Fatalf("Report.JSON: %v", err)
+		}
+		log, err = s.Events().JSONL()
+		if err != nil {
+			t.Fatalf("Events.JSONL: %v", err)
+		}
+		return report, log
+	}
+
+	plainRep, plainLog := run(nil)
+	prof := perfstat.New()
+	profRep, profLog := run(prof)
+
+	if len(plainRep) == 0 || len(plainLog) == 0 {
+		t.Fatal("baseline run produced empty report or event log")
+	}
+	if !bytes.Equal(plainRep, profRep) {
+		t.Error("enabling perfstat changed the report bytes")
+	}
+	if !bytes.Equal(plainLog, profLog) {
+		t.Error("enabling perfstat changed the event log bytes")
+	}
+
+	snap := prof.Snapshot()
+	if snap.Deterministic {
+		t.Error("perfstat snapshot must carry deterministic=false")
+	}
+	if snap.EventsFired == 0 {
+		t.Error("profiled run recorded no fired events")
+	}
+	if snap.StepWall.Count == 0 {
+		t.Error("profiled run recorded no step-wall observations")
+	}
+	if snap.Yields == 0 {
+		t.Error("profiled run recorded no workload yields")
+	}
+	if snap.HandoffWall.Count == 0 {
+		t.Error("profiled run recorded no goroutine handoffs")
+	}
+	buf, err := snap.JSON()
+	if err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	if !bytes.Contains(buf, []byte(`"deterministic": false`)) {
+		t.Fatalf("snapshot JSON missing deterministic:false marker:\n%s", buf)
+	}
+}

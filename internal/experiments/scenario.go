@@ -16,6 +16,7 @@ import (
 	"splitserve/internal/hdfs"
 	"splitserve/internal/metrics"
 	"splitserve/internal/netsim"
+	"splitserve/internal/perfstat"
 	"splitserve/internal/s3q"
 	"splitserve/internal/simclock"
 	"splitserve/internal/simrand"
@@ -103,7 +104,21 @@ type Scenario struct {
 	// S3 overrides the object-store model for the Qubole baseline
 	// (zero = s3q defaults).
 	S3 s3q.Options
+	// Profiler, when non-nil, collects host-side self-profiling for this
+	// run (see internal/perfstat). Falls back to the package profiler set
+	// with SetProfiler. Purely observational: the simulated result is
+	// byte-identical with it on or off.
+	Profiler *perfstat.Collector
 }
+
+// profiler is the package-level default self-profiler, for commands whose
+// runs are built deep inside figure helpers (splitserve-bench) where
+// threading a Scenario field through every signature would be noise.
+var profiler *perfstat.Collector
+
+// SetProfiler installs a default perfstat collector picked up by every
+// subsequent Run whose Scenario.Profiler is nil (nil disables).
+func SetProfiler(p *perfstat.Collector) { profiler = p }
 
 // Name renders the paper's scenario label.
 func (s Scenario) Name() string {
@@ -178,6 +193,12 @@ func Run(sc Scenario, w workloads.Workload) (*Result, error) {
 	if bus == nil {
 		bus = eventlog.NewBus(simclock.Epoch)
 	}
+	prof := sc.Profiler
+	if prof == nil {
+		prof = profiler
+	}
+	prof.AttachClock(clock)
+	prof.ObserveBus(bus)
 	appID := sc.AppID
 	if appID == "" {
 		appID = fmt.Sprintf("%s-%d", w.Name(), sc.Kind)

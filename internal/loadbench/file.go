@@ -1,0 +1,175 @@
+package loadbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SchemaV1 identifies the BENCH_*.json layout. Fields are only ever
+// added, never renamed or removed, within a schema version — later perf
+// PRs diff these files across months of history.
+const SchemaV1 = "splitserve-loadbench/v1"
+
+// Point is one {job count} measurement of the fixed load shape. All
+// values except Jobs are host wall-clock measurements: run-to-run noise
+// is expected, which is why Compare takes a threshold.
+type Point struct {
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// JobsPerSec is simulated cluster throughput: completed jobs per
+	// wall-clock second of host time.
+	JobsPerSec     float64 `json:"jobs_per_sec"`
+	EventsFired    uint64  `json:"events_fired"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	StepP50US      float64 `json:"step_p50_us"`
+	StepP99US      float64 `json:"step_p99_us"`
+	HeapHighWater  int     `json:"heap_high_water"`
+	Cancelled      uint64  `json:"cancelled"`
+	Yields         uint64  `json:"yields"`
+	QueueMax       int     `json:"queue_max"`
+	QueueMean      float64 `json:"queue_mean"`
+}
+
+// File is one BENCH_<label>.json: the full trajectory point for one
+// commit, measured at several job counts.
+type File struct {
+	Schema string `json:"schema"`
+	Label  string `json:"label"`
+	// Deterministic is always false: these are wall-clock measurements,
+	// the same marker perfstat snapshots carry.
+	Deterministic bool    `json:"deterministic"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	Seed          uint64  `json:"seed"`
+	Points        []Point `json:"points"`
+}
+
+// JSON renders the file indented, trailing newline included.
+func (f *File) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Parse loads a BENCH file, rejecting other schemas.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("loadbench: %w", err)
+	}
+	if f.Schema != SchemaV1 {
+		return nil, fmt.Errorf("loadbench: unknown schema %q (want %s)", f.Schema, SchemaV1)
+	}
+	return &f, nil
+}
+
+// metric describes one compared column: how to read it and which
+// direction is a regression.
+type metric struct {
+	name        string
+	get         func(Point) float64
+	higherIsBad bool
+}
+
+var compareMetrics = []metric{
+	{"jobs/sec", func(p Point) float64 { return p.JobsPerSec }, false},
+	{"events/sec", func(p Point) float64 { return p.EventsPerSec }, false},
+	{"allocs/event", func(p Point) float64 { return p.AllocsPerEvent }, true},
+	{"bytes/event", func(p Point) float64 { return p.BytesPerEvent }, true},
+	{"step p50 µs", func(p Point) float64 { return p.StepP50US }, true},
+	{"step p99 µs", func(p Point) float64 { return p.StepP99US }, true},
+}
+
+// Delta is one old→new metric comparison at one job count.
+type Delta struct {
+	Jobs     int
+	Metric   string
+	Old, New float64
+	// Rel is the relative change (new-old)/old, sign-adjusted so that
+	// positive always means "worse" (slower, more allocation).
+	Rel float64
+}
+
+// Compare diffs two BENCH files point by point (matched on job count) and
+// returns every metric delta plus the worst regression. threshold is the
+// relative change past which a delta counts as a regression (e.g. 0.10 =
+// 10% worse); Regressed reports whether any metric crossed it.
+func Compare(old, new *File, threshold float64) *CompareResult {
+	res := &CompareResult{Threshold: threshold}
+	newByJobs := map[int]Point{}
+	for _, p := range new.Points {
+		newByJobs[p.Jobs] = p
+	}
+	for _, op := range old.Points {
+		np, ok := newByJobs[op.Jobs]
+		if !ok {
+			res.Unmatched = append(res.Unmatched, op.Jobs)
+			continue
+		}
+		for _, m := range compareMetrics {
+			ov, nv := m.get(op), m.get(np)
+			d := Delta{Jobs: op.Jobs, Metric: m.name, Old: ov, New: nv}
+			if ov != 0 {
+				d.Rel = (nv - ov) / ov
+				if !m.higherIsBad {
+					d.Rel = -d.Rel
+				}
+			}
+			res.Deltas = append(res.Deltas, d)
+			if d.Rel > res.Worst {
+				res.Worst = d.Rel
+			}
+		}
+	}
+	res.Regressed = res.Worst > threshold
+	return res
+}
+
+// CompareResult is Compare's report: all deltas, the worst sign-adjusted
+// relative change, and whether it crossed the threshold.
+type CompareResult struct {
+	Threshold float64
+	Deltas    []Delta
+	Worst     float64
+	Regressed bool
+	Unmatched []int // job counts present in old but missing in new
+}
+
+// String renders the comparison as an aligned table with one verdict line.
+func (r *CompareResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %14s %14s %14s %10s\n", "jobs", "metric", "old", "new", "change")
+	for _, d := range r.Deltas {
+		flag := ""
+		if d.Rel > r.Threshold {
+			flag = "  <- REGRESSION"
+		}
+		fmt.Fprintf(&b, "%8d %14s %14.3f %14.3f %+9.1f%%%s\n",
+			d.Jobs, d.Metric, d.Old, d.New, signedPct(d), flag)
+	}
+	for _, jobs := range r.Unmatched {
+		fmt.Fprintf(&b, "%8d  (missing from new file)\n", jobs)
+	}
+	if r.Regressed {
+		fmt.Fprintf(&b, "worst regression %.1f%% exceeds threshold %.1f%%\n",
+			r.Worst*100, r.Threshold*100)
+	} else {
+		fmt.Fprintf(&b, "no regression past %.1f%% (worst %.1f%%)\n",
+			r.Threshold*100, math.Max(r.Worst, 0)*100)
+	}
+	return b.String()
+}
+
+// signedPct undoes the sign adjustment for display: positive = the raw
+// value went up.
+func signedPct(d Delta) float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return (d.New - d.Old) / d.Old * 100
+}

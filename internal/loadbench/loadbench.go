@@ -1,0 +1,102 @@
+// Package loadbench is the load benchmark harness behind the repo's
+// BENCH_*.json perf trajectory: it pushes a stream of N tiny jobs through
+// the real cluster scheduler (coroutine handoffs, simclock heap, event
+// bus — nothing mocked) with perfstat attached, and reduces the run to a
+// stable-schema point of host-side throughput numbers. Every later
+// optimisation of the event loop cites the delta between two of these
+// files; see OBSERVABILITY.md ("Layer 3") for the schema and the compare
+// workflow.
+package loadbench
+
+import (
+	"fmt"
+	"time"
+
+	"splitserve/internal/cluster"
+	"splitserve/internal/perfstat"
+	"splitserve/internal/workloads"
+	"splitserve/internal/workloads/sparkpi"
+)
+
+// The fixed load shape: many small 2-core SparkPi jobs arriving every
+// 100ms against a 16-core pool. Service rate stays ahead of arrival rate,
+// so wall time grows linearly in job count and 10k-job runs stay feasible;
+// the constants are part of the benchmark definition and must not change
+// without relabelling the trajectory (a new BENCH baseline).
+const (
+	jobCores   = 2
+	poolCores  = 16
+	jobDarts   = 200_000
+	partitions = 4
+	arrivalGap = 100 * time.Millisecond
+)
+
+func tinyJob(seed uint64) workloads.Workload {
+	cfg := sparkpi.DefaultConfig()
+	cfg.Darts = jobDarts
+	cfg.Partitions = partitions
+	cfg.Seed = seed
+	return sparkpi.New(cfg)
+}
+
+// RunPoint pushes a stream of `jobs` tiny jobs through the cluster
+// scheduler and returns the measured point. The simulation itself is
+// seed-deterministic; the point's values are host wall-clock measurements
+// and vary run to run.
+func RunPoint(jobs int, seed uint64) (Point, error) {
+	if jobs < 1 {
+		return Point{}, fmt.Errorf("loadbench: need at least 1 job, got %d", jobs)
+	}
+	base, err := cluster.Baseline(tinyJob(seed), jobCores, seed)
+	if err != nil {
+		return Point{}, fmt.Errorf("loadbench baseline: %w", err)
+	}
+	specs := make([]cluster.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = cluster.JobSpec{
+			Name:     "sparkpi",
+			Workload: tinyJob(seed + uint64(i)),
+			Cores:    jobCores,
+			Arrival:  time.Duration(i) * arrivalGap,
+			Baseline: base,
+		}
+	}
+
+	// The collector starts here so the allocation and wall baselines
+	// exclude spec construction — the benchmark measures the scheduler,
+	// not the harness.
+	prof := perfstat.New()
+	s, err := cluster.New(cluster.Config{
+		Jobs:      specs,
+		PoolCores: poolCores,
+		Seed:      seed,
+		Prof:      prof,
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("loadbench: %w", err)
+	}
+	if _, err := s.Run(); err != nil {
+		return Point{}, fmt.Errorf("loadbench run: %w", err)
+	}
+	snap := prof.Snapshot()
+
+	p := Point{
+		Jobs:           jobs,
+		WallSeconds:    snap.WallSeconds,
+		EventsFired:    snap.EventsFired,
+		EventsPerSec:   snap.EventsPerSec,
+		AllocsPerEvent: snap.AllocsPerEvent,
+		BytesPerEvent:  snap.BytesPerEvent,
+		StepP50US:      snap.StepWall.P50US,
+		StepP99US:      snap.StepWall.P99US,
+		HeapHighWater:  snap.Clock.HeapHighWater,
+		Cancelled:      snap.Clock.Cancelled,
+		Yields:         snap.Yields,
+		QueueMax:       snap.RunQueue.Max,
+		QueueMean:      snap.RunQueue.Mean,
+	}
+	if snap.WallSeconds > 0 {
+		p.JobsPerSec = float64(jobs) / snap.WallSeconds
+	}
+	return p, nil
+}

@@ -1,0 +1,131 @@
+package loadbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPointSmall(t *testing.T) {
+	p, err := RunPoint(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Jobs != 5 {
+		t.Fatalf("jobs = %d, want 5", p.Jobs)
+	}
+	if p.EventsFired == 0 || p.EventsPerSec <= 0 || p.JobsPerSec <= 0 {
+		t.Fatalf("throughput not populated: %+v", p)
+	}
+	if p.AllocsPerEvent <= 0 {
+		t.Fatalf("allocs/event = %v, want > 0", p.AllocsPerEvent)
+	}
+	if p.StepP99US < p.StepP50US {
+		t.Fatalf("p99 %.1fµs < p50 %.1fµs", p.StepP99US, p.StepP50US)
+	}
+	if p.Yields == 0 {
+		t.Fatalf("no workload yields recorded: %+v", p)
+	}
+}
+
+func TestRunPointRejectsZeroJobs(t *testing.T) {
+	if _, err := RunPoint(0, 1); err == nil {
+		t.Fatal("RunPoint(0) succeeded")
+	}
+}
+
+func testFile(vals ...float64) *File {
+	// vals: jobsPerSec, eventsPerSec, allocs, bytes, p50, p99
+	return &File{
+		Schema: SchemaV1,
+		Label:  "test",
+		Seed:   1,
+		Points: []Point{{
+			Jobs:           100,
+			JobsPerSec:     vals[0],
+			EventsPerSec:   vals[1],
+			AllocsPerEvent: vals[2],
+			BytesPerEvent:  vals[3],
+			StepP50US:      vals[4],
+			StepP99US:      vals[5],
+			EventsFired:    1000,
+			WallSeconds:    1,
+		}},
+	}
+}
+
+func TestFileJSONRoundTrip(t *testing.T) {
+	f := testFile(50, 10000, 25, 1500, 2, 90)
+	buf, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"deterministic": false`) {
+		t.Fatalf("BENCH JSON missing the deterministic:false marker:\n%s", buf)
+	}
+	back, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "test" || len(back.Points) != 1 || back.Points[0].Jobs != 100 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := Parse([]byte(`{"schema":"bogus/v0"}`)); err == nil {
+		t.Fatal("Parse accepted an unknown schema")
+	}
+}
+
+func TestCompareIdenticalFilesIsZeroDelta(t *testing.T) {
+	f := testFile(50, 10000, 25, 1500, 2, 90)
+	res := Compare(f, f, 0.10)
+	if res.Regressed {
+		t.Fatalf("identical files flagged as regression: %s", res)
+	}
+	if res.Worst != 0 {
+		t.Fatalf("identical files worst delta = %v, want 0", res.Worst)
+	}
+	for _, d := range res.Deltas {
+		if d.Rel != 0 {
+			t.Fatalf("identical files delta %+v nonzero", d)
+		}
+	}
+	if len(res.Deltas) != len(compareMetrics) {
+		t.Fatalf("got %d deltas, want %d", len(res.Deltas), len(compareMetrics))
+	}
+}
+
+func TestCompareFlagsThroughputDrop(t *testing.T) {
+	old := testFile(50, 10000, 25, 1500, 2, 90)
+	slower := testFile(40, 8000, 25, 1500, 2, 90) // 20% fewer jobs/sec
+	res := Compare(old, slower, 0.10)
+	if !res.Regressed {
+		t.Fatalf("20%% throughput drop not flagged: %s", res)
+	}
+	if res.Worst < 0.19 || res.Worst > 0.21 {
+		t.Fatalf("worst = %v, want ≈0.20", res.Worst)
+	}
+	if !strings.Contains(res.String(), "REGRESSION") {
+		t.Fatalf("report does not mark the regression:\n%s", res)
+	}
+}
+
+func TestCompareFlagsAllocGrowth(t *testing.T) {
+	old := testFile(50, 10000, 25, 1500, 2, 90)
+	hungry := testFile(50, 10000, 40, 1500, 2, 90) // 60% more allocs/event
+	if res := Compare(old, hungry, 0.10); !res.Regressed {
+		t.Fatalf("alloc growth not flagged: %s", res)
+	}
+	// Improvements in a higher-is-bad metric must not count as regression.
+	lean := testFile(50, 10000, 10, 1500, 2, 90)
+	if res := Compare(old, lean, 0.10); res.Regressed {
+		t.Fatalf("alloc *improvement* flagged as regression: %s", res)
+	}
+}
+
+func TestCompareReportsUnmatchedPoints(t *testing.T) {
+	old := testFile(50, 10000, 25, 1500, 2, 90)
+	empty := &File{Schema: SchemaV1, Label: "empty"}
+	res := Compare(old, empty, 0.10)
+	if len(res.Unmatched) != 1 || res.Unmatched[0] != 100 {
+		t.Fatalf("unmatched = %v, want [100]", res.Unmatched)
+	}
+}

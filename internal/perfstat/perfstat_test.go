@@ -1,0 +1,158 @@
+package perfstat
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"splitserve/internal/eventlog"
+	"splitserve/internal/simclock"
+)
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	// None of these may panic.
+	c.AttachClock(simclock.New(simclock.Epoch))
+	c.ObserveStep(time.Millisecond)
+	c.ObserveHandoff(time.Millisecond)
+	c.CountYield()
+	c.SampleQueueDepth(3)
+	c.ObserveBus(eventlog.NewBus(simclock.Epoch))
+	if snap := c.Snapshot(); snap != nil {
+		t.Fatalf("nil collector snapshot = %+v, want nil", snap)
+	}
+}
+
+func TestCollectorObservesClockAndBus(t *testing.T) {
+	c := New()
+	clock := simclock.New(simclock.Epoch)
+	bus := eventlog.NewBus(simclock.Epoch)
+	c.AttachClock(clock)
+	c.ObserveBus(bus)
+
+	for i := 0; i < 100; i++ {
+		clock.After(time.Duration(i)*time.Millisecond, func() {
+			bus.Emit(clock.Now(), eventlog.Ev(eventlog.TaskStart))
+		})
+	}
+	tm := clock.After(time.Hour, func() {})
+	tm.Cancel()
+	clock.Run()
+	c.SampleQueueDepth(2)
+	c.SampleQueueDepth(6)
+
+	snap := c.Snapshot()
+	if snap.Schema != SchemaV1 {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if snap.Deterministic {
+		t.Fatal("snapshot claims to be deterministic")
+	}
+	if snap.EventsFired != 100 {
+		t.Fatalf("events fired = %d, want 100", snap.EventsFired)
+	}
+	if snap.StepWall.Count != 100 {
+		t.Fatalf("step observations = %d, want 100", snap.StepWall.Count)
+	}
+	if snap.EventsPerSec <= 0 || snap.AllocsPerEvent < 0 {
+		t.Fatalf("throughput not populated: %+v", snap)
+	}
+	if snap.Clock.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", snap.Clock.Cancelled)
+	}
+	if snap.Clock.HeapHighWater < 100 {
+		t.Fatalf("heap high water = %d, want >= 100", snap.Clock.HeapHighWater)
+	}
+	if got := snap.EventTypes["engine"]["task_start"]; got != 100 {
+		t.Fatalf("engine/task_start count = %d, want 100", got)
+	}
+	if snap.RunQueue.Samples != 2 || snap.RunQueue.Max != 6 || snap.RunQueue.Mean != 4 {
+		t.Fatalf("run queue stats = %+v", snap.RunQueue)
+	}
+}
+
+func TestAttachClockSpansRuns(t *testing.T) {
+	c := New()
+	for run := 0; run < 3; run++ {
+		clock := simclock.New(simclock.Epoch)
+		c.AttachClock(clock)
+		for i := 0; i < 10; i++ {
+			clock.After(time.Second, func() {})
+		}
+		clock.Run()
+	}
+	snap := c.Snapshot()
+	if snap.EventsFired != 30 {
+		t.Fatalf("events across 3 runs = %d, want 30", snap.EventsFired)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := New()
+	clock := simclock.New(simclock.Epoch)
+	c.AttachClock(clock)
+	clock.After(0, func() {})
+	clock.Run()
+	buf, err := c.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"deterministic": false`) {
+		t.Fatalf("snapshot JSON missing the deterministic:false marker:\n%s", buf)
+	}
+	back, err := ParseSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EventsFired != 1 {
+		t.Fatalf("round-trip events = %d, want 1", back.EventsFired)
+	}
+	if _, err := ParseSnapshot([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("ParseSnapshot accepted an unknown schema")
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(buf, &generic); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "deterministic", "wall_seconds", "events_fired",
+		"events_per_sec", "allocs_per_event", "bytes_per_event", "clock", "step_wall",
+		"handoff_wall", "yields", "occupancy", "run_queue"} {
+		if _, ok := generic[key]; !ok {
+			t.Fatalf("snapshot JSON missing stable key %q", key)
+		}
+	}
+}
+
+func TestDurHistQuantiles(t *testing.T) {
+	var h durHist
+	for i := 1; i <= 1000; i++ {
+		h.observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.quantile(0.50) / 1e3 // -> µs
+	p99 := h.quantile(0.99) / 1e3
+	if p50 < 350 || p50 > 650 {
+		t.Fatalf("p50 = %.1fµs, want ≈500µs", p50)
+	}
+	if p99 < 850 || p99 > 1100 {
+		t.Fatalf("p99 = %.1fµs, want ≈990µs", p99)
+	}
+	st := h.stats(time.Second)
+	if st.Count != 1000 || st.MaxUS != 1000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDurHistBucketInverse(t *testing.T) {
+	for _, d := range []time.Duration{0, 1, 7, 8, 100, 1023, 1024, 1 << 20, 3 * time.Second} {
+		i := bucketIndex(d)
+		lo, hi := bucketLow(i), bucketLow(i+1)
+		v := float64(d)
+		if v < lo || (v >= hi && hi > lo) {
+			t.Fatalf("d=%v: bucket %d bounds [%.0f, %.0f) exclude it", d, i, lo, hi)
+		}
+	}
+}

@@ -22,7 +22,29 @@ type Clock struct {
 	queue  eventHeap
 	fired  uint64
 	inLoop bool
+
+	// Self-observation counters (read by internal/perfstat). They never
+	// influence scheduling decisions, so observing them is free of
+	// determinism hazards.
+	cancelled   uint64
+	ghosts      int
+	highWater   int
+	compactions uint64
+
+	obs StepObserver
 }
+
+// StepObserver receives the host wall-clock duration of each Step call.
+// It is the hook internal/perfstat uses to measure clock-loop occupancy;
+// the observer must not touch the clock (Step is not reentrant).
+type StepObserver interface {
+	ObserveStep(wall time.Duration)
+}
+
+// SetStepObserver installs o (nil disables). When set, every Step is
+// timed with the host wall clock and reported to o. Virtual time and
+// event order are unaffected.
+func (c *Clock) SetStepObserver(o StepObserver) { c.obs = o }
 
 // Timer is a handle to a scheduled event that can be cancelled or
 // rescheduled before it fires.
@@ -34,7 +56,8 @@ type event struct {
 	at    time.Time
 	seq   uint64
 	fn    func()
-	index int // heap index; -1 when popped or cancelled
+	index int    // heap index; -1 when popped or cancelled
+	clock *Clock // owner, for ghost accounting on cancel
 }
 
 // New returns a Clock whose current time is start.
@@ -58,6 +81,22 @@ func (c *Clock) Fired() uint64 { return c.fired }
 // Pending returns the number of events currently scheduled.
 func (c *Clock) Pending() int { return c.queue.Len() }
 
+// Cancelled returns the number of timers cancelled before firing.
+func (c *Clock) Cancelled() uint64 { return c.cancelled }
+
+// Ghosts returns the number of cancelled entries still occupying heap
+// slots (the lazy-discard path). Compaction keeps this bounded; see
+// maybeCompact.
+func (c *Clock) Ghosts() int { return c.ghosts }
+
+// HeapHighWater returns the maximum event-heap depth observed, including
+// ghost entries — the queue-indexing pressure metric perfstat tracks.
+func (c *Clock) HeapHighWater() int { return c.highWater }
+
+// Compactions returns how many times the heap was rebuilt to shed ghost
+// entries.
+func (c *Clock) Compactions() uint64 { return c.compactions }
+
 // After schedules fn to run d after the current virtual time. Negative
 // durations are treated as zero. The returned Timer may be used to cancel.
 func (c *Clock) After(d time.Duration, fn func()) *Timer {
@@ -76,9 +115,12 @@ func (c *Clock) At(t time.Time, fn func()) *Timer {
 	if t.Before(c.now) {
 		t = c.now
 	}
-	ev := &event{at: t, seq: c.seq, fn: fn}
+	ev := &event{at: t, seq: c.seq, fn: fn, clock: c}
 	c.seq++
 	heap.Push(&c.queue, ev)
+	if n := c.queue.Len(); n > c.highWater {
+		c.highWater = n
+	}
 	return &Timer{ev: ev}
 }
 
@@ -106,15 +148,59 @@ func (t *Timer) When() (time.Time, bool) {
 func (e *event) cancel() {
 	if e.index >= 0 {
 		e.fn = nil // release closure; the heap entry is lazily discarded
+		e.clock.cancelled++
+		e.clock.ghosts++
+		e.clock.maybeCompact()
 	}
+}
+
+// maybeCompact rebuilds the heap without ghost entries once they dominate
+// it, so a cancel-heavy workload (armed-then-cancelled timers far in the
+// virtual future) cannot grow the heap unboundedly. The rebuild preserves
+// the (at, seq) total order, so firing order — and therefore determinism —
+// is unchanged.
+func (c *Clock) maybeCompact() {
+	const minGhosts = 64
+	if c.ghosts < minGhosts || 2*c.ghosts <= c.queue.Len() {
+		return
+	}
+	live := c.queue[:0]
+	for _, ev := range c.queue {
+		if ev.fn != nil {
+			ev.index = len(live)
+			live = append(live, ev)
+		} else {
+			ev.index = -1
+		}
+	}
+	for i := len(live); i < len(c.queue); i++ {
+		c.queue[i] = nil // release ghost slots to the GC
+	}
+	c.queue = live
+	heap.Init(&c.queue)
+	c.ghosts = 0
+	c.compactions++
 }
 
 // Step fires the next pending event. It reports false when the queue is
 // empty.
 func (c *Clock) Step() bool {
+	if c.obs != nil {
+		start := time.Now()
+		fired := c.step()
+		if fired { // one observation per fired event; the empty probe is noise
+			c.obs.ObserveStep(time.Since(start))
+		}
+		return fired
+	}
+	return c.step()
+}
+
+func (c *Clock) step() bool {
 	for c.queue.Len() > 0 {
 		ev := heap.Pop(&c.queue).(*event)
 		if ev.fn == nil { // cancelled
+			c.ghosts--
 			continue
 		}
 		if ev.at.After(c.now) {
@@ -178,6 +264,7 @@ func (c *Clock) peek() (time.Time, bool) {
 		top := c.queue[0]
 		if top.fn == nil {
 			heap.Pop(&c.queue)
+			c.ghosts--
 			continue
 		}
 		return top.at, true

@@ -225,3 +225,101 @@ func TestQuickCancelSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCancelCounters(t *testing.T) {
+	c := New(Epoch)
+	tm1 := c.After(time.Second, func() {})
+	tm2 := c.After(2*time.Second, func() {})
+	tm1.Cancel()
+	tm1.Cancel() // second cancel is a no-op
+	if got := c.Cancelled(); got != 1 {
+		t.Fatalf("Cancelled = %d, want 1", got)
+	}
+	if got := c.Ghosts(); got != 1 {
+		t.Fatalf("Ghosts = %d, want 1", got)
+	}
+	c.Run()
+	if got := c.Ghosts(); got != 0 {
+		t.Fatalf("Ghosts after Run = %d, want 0 (popped lazily)", got)
+	}
+	_ = tm2
+	if got := c.HeapHighWater(); got != 2 {
+		t.Fatalf("HeapHighWater = %d, want 2", got)
+	}
+}
+
+// TestGhostEntriesBounded is the regression test for the lazy-discard
+// path: a cancel-heavy workload (10k armed-then-cancelled timers per
+// round, all far in the virtual future so they are never popped) must not
+// grow ghost heap entries unboundedly across Step calls — compaction has
+// to shed them.
+func TestGhostEntriesBounded(t *testing.T) {
+	c := New(Epoch)
+	const rounds, perRound = 10, 10_000
+	fired := 0
+	for r := 0; r < rounds; r++ {
+		timers := make([]*Timer, 0, perRound)
+		for i := 0; i < perRound; i++ {
+			timers = append(timers, c.After(time.Hour, func() { t.Fatal("cancelled timer fired") }))
+		}
+		for _, tm := range timers {
+			if !tm.Cancel() {
+				t.Fatal("Cancel reported not pending")
+			}
+		}
+		c.After(time.Millisecond, func() { fired++ })
+		if !c.Step() {
+			t.Fatal("Step found no live event")
+		}
+		// Live events never exceed perRound+1, so a bounded heap means
+		// ghosts are being compacted away rather than accumulating
+		// round over round.
+		if g := c.Ghosts(); g > perRound+1 {
+			t.Fatalf("round %d: %d ghost entries — compaction not keeping up", r, g)
+		}
+		if n := c.Pending(); n > perRound+1 {
+			t.Fatalf("round %d: heap holds %d entries for 0 live timers", r, n)
+		}
+	}
+	if fired != rounds {
+		t.Fatalf("fired %d live events, want %d", fired, rounds)
+	}
+	if c.Cancelled() != rounds*perRound {
+		t.Fatalf("Cancelled = %d, want %d", c.Cancelled(), rounds*perRound)
+	}
+	if c.Compactions() == 0 {
+		t.Fatal("expected at least one heap compaction")
+	}
+}
+
+type stepRecorder struct {
+	steps []time.Duration
+}
+
+func (r *stepRecorder) ObserveStep(d time.Duration) { r.steps = append(r.steps, d) }
+
+func TestStepObserver(t *testing.T) {
+	c := New(Epoch)
+	rec := &stepRecorder{}
+	c.SetStepObserver(rec)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.After(time.Duration(i)*time.Second, func() { got = append(got, i) })
+	}
+	c.Run()
+	if len(rec.steps) != 5 {
+		t.Fatalf("observed %d steps, want 5", len(rec.steps))
+	}
+	for i := range got { // observation must not perturb firing order
+		if got[i] != i {
+			t.Fatalf("order with observer = %v", got)
+		}
+	}
+	c.SetStepObserver(nil)
+	c.After(time.Second, func() {})
+	c.Run()
+	if len(rec.steps) != 5 {
+		t.Fatalf("observer fired after removal: %d", len(rec.steps))
+	}
+}

@@ -1,0 +1,36 @@
+package splitserve
+
+// Load benchmarks for the simulator's own hot paths: streams of tiny jobs
+// through the real cluster scheduler with perfstat attached, the Go-bench
+// twin of `splitserve-loadbench`. Wall-clock ns/op measures one full
+// stream; the custom metrics carry the BENCH trajectory columns
+// (jobs/sec, events/sec, allocs/event, step p99).
+//
+// Run with: go test -bench=Load -benchtime=1x
+// CI and `make loadbench` use the splitserve-loadbench command instead,
+// which writes the stable-schema BENCH_<label>.json.
+
+import (
+	"testing"
+
+	"splitserve/internal/loadbench"
+)
+
+func benchLoad(b *testing.B, jobs int) {
+	var p loadbench.Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = loadbench.RunPoint(jobs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	recordMetric(b, p.JobsPerSec, "jobs/sec")
+	recordMetric(b, p.EventsPerSec, "events/sec")
+	recordMetric(b, p.AllocsPerEvent, "allocs/event")
+	recordMetric(b, p.StepP99US, "step-p99-µs")
+}
+
+func BenchmarkLoad100(b *testing.B) { benchLoad(b, 100) }
+func BenchmarkLoad1k(b *testing.B)  { benchLoad(b, 1_000) }
+func BenchmarkLoad10k(b *testing.B) { benchLoad(b, 10_000) }

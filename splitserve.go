@@ -27,6 +27,7 @@ import (
 	"splitserve/internal/cloud"
 	"splitserve/internal/eventlog"
 	"splitserve/internal/experiments"
+	"splitserve/internal/perfstat"
 	"splitserve/internal/workloads"
 	"splitserve/internal/workloads/kmeans"
 	"splitserve/internal/workloads/pagerank"
@@ -97,6 +98,15 @@ func WithSegueAt(d time.Duration) Option {
 // WithLambdaTimeout sets spark.lambda.executor.timeout.
 func WithLambdaTimeout(d time.Duration) Option {
 	return func(sc *experiments.Scenario) { sc.LambdaTimeout = d }
+}
+
+// WithSelfProfile attaches a perfstat collector: host-side (wall-clock)
+// self-profiling of the simulator — events/sec, allocs per event, per-step
+// wall percentiles. Purely observational; the simulated result, report and
+// event log are byte-identical with it on or off. Obtain one with
+// perfstat.New and read it with Snapshot after the run.
+func WithSelfProfile(p *perfstat.Collector) Option {
+	return func(sc *experiments.Scenario) { sc.Profiler = p }
 }
 
 // WithWorkerType selects the instance type hosting VM executors, e.g.
