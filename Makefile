@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz sim bench smoke loadbench
+.PHONY: build test check vet race fuzz sim bench smoke warmsweep loadbench
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,12 @@ check:
 
 # smoke round-trips the observability pipeline (run a small cluster day,
 # save its event log, replay it through splitserve-history, convert it to
-# a Chrome trace) and the cost manager (profile one workload, then let
-# -cores auto schedule from the curves). CI uploads smoke/trace.json,
-# smoke/profiles.json and smoke/cluster-report.json as artifacts.
+# a Chrome trace), the cost manager (profile one workload, then let
+# -cores auto schedule from the curves), and the warm-pool substrate (a
+# bridged shuffle-reuse stream on a warm pool with the /tmp cache, whose
+# event log must carry the new vocabulary and replay cleanly). CI uploads
+# smoke/trace.json, smoke/profiles.json and smoke/cluster-report.json as
+# artifacts.
 smoke:
 	mkdir -p smoke
 	$(GO) run ./cmd/splitserve-cluster -jobs 3 -mix sparkpi -pool 8 \
@@ -49,6 +52,25 @@ smoke:
 		-report json > smoke/cluster-report.json
 	@grep -q '"alloc": "min-cost"' smoke/cluster-report.json \
 		&& echo "smoke: profile -> schedule round trip OK (smoke/cluster-report.json)"
+	$(GO) run ./cmd/splitserve-cluster -jobs 3 -mix shufflereuse -pool 4 \
+		-arrival poisson:12s -warmpool 4 -tmpcache \
+		-eventlog smoke/warm-events.jsonl > /dev/null
+	@grep -q '"type":"lambda_warm_hit"' smoke/warm-events.jsonl \
+		&& grep -q '"type":"tmp_cache_hit"' smoke/warm-events.jsonl \
+		&& grep -q '"type":"warmpool_resize"' smoke/warm-events.jsonl \
+		&& echo "smoke: warm-pool event vocabulary present in smoke/warm-events.jsonl"
+	$(GO) run ./cmd/splitserve-history -log smoke/warm-events.jsonl \
+		-trace smoke/warm-trace.json
+	@test -s smoke/warm-trace.json && echo "smoke: warm-pool event log replayed, trace written to smoke/warm-trace.json"
+
+# warmsweep regenerates the warm-pool crossover table (EXPERIMENTS.md,
+# "Warm-pool Lambda with a /tmp shuffle cache tier"). CI uploads the
+# report as an artifact.
+warmsweep:
+	mkdir -p smoke
+	$(GO) run ./cmd/splitserve-cluster -warmsweep | tee smoke/warmsweep.txt
+	@grep -q 'crossover:' smoke/warmsweep.txt \
+		&& echo "warmsweep: crossover table written to smoke/warmsweep.txt"
 
 sim:
 	$(GO) run ./cmd/splitserve-sim

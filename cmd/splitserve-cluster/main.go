@@ -6,6 +6,8 @@
 //	splitserve-cluster -jobs 12 -arrival poisson:45s -policy fair -strategy bridge
 //	splitserve-cluster -mix sparkpi,tpcds -pool 32 -slo 1.3 -report json
 //	splitserve-cluster -cores auto -profiles profiles.json -alloc min-cost
+//	splitserve-cluster -warmpool 4 -tmpcache -mix shufflereuse
+//	splitserve-cluster -warmsweep
 //	splitserve-cluster -compare
 //
 // With -cores auto the cost manager sizes each arriving job from the
@@ -112,6 +114,9 @@ func run() int {
 		scaledown = flag.Duration("scaledown", 0, "release autoscale-procured VMs idle for this long back to the provider (0 disables)")
 		admission = flag.String("admission", "greedy", "admission policy: greedy | deadline (delay or shed jobs whose SLO is unattainable)")
 		elastic   = flag.Bool("elastic", false, "run the elasticity comparison: keep-forever vs -scaledown vs -scaledown plus deadline admission")
+		warmPool  = flag.Int("warmpool", 0, "provision this many warm Lambda environments (provisioned concurrency; 0 disables)")
+		tmpCache  = flag.Bool("tmpcache", false, "serve repeat shuffle reads from warm environments' /tmp cache tier (needs -warmpool)")
+		warmsweep = flag.Bool("warmsweep", false, "run the warm-pool crossover sweep: VM autoscale vs cold Lambda vs warm+cached Lambda per arrival rate x shuffle reuse")
 		eventLog  = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace     = flag.String("trace", "", cliutil.TraceUsage)
 	)
@@ -120,6 +125,38 @@ func run() int {
 
 	if err := cliutil.ValidateReport(*report); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+
+	// Validate the shared vocabulary flags up front — unknown names must
+	// fail with the accepted list whichever subcommand runs, never fall
+	// back silently.
+	pol, err := cluster.PolicyByName(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	strat, err := cluster.StrategyByName(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	adm, err := cluster.AdmissionByName(*admission)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	allocPol, err := costmgr.PolicyByName(*alloc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 2
+	}
+	if *scaledown < 0 {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -scaledown %s (0 disables)\n", *scaledown)
+		return 2
+	}
+	if *warmPool < 0 {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -warmpool %d (0 disables)\n", *warmPool)
 		return 2
 	}
 	prof, err := perf.Start()
@@ -165,6 +202,17 @@ func run() int {
 		return writePerf()
 	}
 
+	if *warmsweep {
+		cells, err := experiments.WarmPoolComparison(*seed, experiments.WarmPoolSweepConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		fmt.Println("== warm pool: VM autoscale vs cold Lambda vs warm+cached Lambda ==")
+		fmt.Print(experiments.FormatWarmPoolComparison(cells))
+		return writePerf()
+	}
+
 	if *costcmp {
 		if *profiles == "" {
 			fmt.Fprintln(os.Stderr, "splitserve-cluster: -costcompare requires -profiles (run splitserve-profile -out first)")
@@ -188,25 +236,6 @@ func run() int {
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
-		return 2
-	}
-	pol, err := cluster.PolicyByName(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
-		return 2
-	}
-	strat, err := cluster.StrategyByName(*strategy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
-		return 2
-	}
-	adm, err := cluster.AdmissionByName(*admission)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
-		return 2
-	}
-	if *scaledown < 0 {
-		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -scaledown %s (0 disables)\n", *scaledown)
 		return 2
 	}
 
@@ -253,11 +282,6 @@ func run() int {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 			return 1
-		}
-		allocPol, err := costmgr.PolicyByName(*alloc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
-			return 2
 		}
 		allocLabel = allocPol.String()
 		for i := range arrivals {
@@ -308,6 +332,8 @@ func run() int {
 		Seed:          *seed,
 		Admission:     adm,
 		ScaleDownIdle: *scaledown,
+		WarmPool:      *warmPool,
+		TmpCache:      *tmpCache,
 		Alloc:         allocLabel,
 		Prof:          prof,
 	})

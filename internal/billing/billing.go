@@ -29,7 +29,24 @@ const (
 	// S3PutUSD and S3GetUSD are per-request S3 prices.
 	S3PutUSD = 0.000005
 	S3GetUSD = 0.0000004
+	// LambdaProvisionedIdleGBSecondUSD is the provisioned-concurrency
+	// idle-time rate: what a pre-initialized environment costs per
+	// GB-second while it sits warm waiting for work (AWS bills this
+	// whether or not the capacity is ever invoked).
+	LambdaProvisionedIdleGBSecondUSD = 0.0000041667
 )
+
+// LambdaIdleCost returns the provisioned-concurrency charge for keeping a
+// warm environment of the given memory size idle for duration d. Idle time
+// is billed per second with no minimum (rounding up to whole seconds, as
+// AWS does for provisioned concurrency).
+func LambdaIdleCost(memoryMB int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	gb := float64(memoryMB) / 1024
+	return gb * math.Ceil(d.Seconds()) * LambdaProvisionedIdleGBSecondUSD
+}
 
 // VMCost returns the on-demand cost of running an instance priced at
 // pricePerHour for duration d: per-second increments with a 60 s minimum.
@@ -135,6 +152,12 @@ func (m *Meter) AddVM(ref string, pricePerHour float64, totalCores, usedCores in
 // AddLambda bills one Lambda invocation.
 func (m *Meter) AddLambda(ref string, memoryMB int, d time.Duration) {
 	m.Add(Item{Kind: "lambda", Ref: ref, Duration: d, USD: LambdaCost(memoryMB, d)})
+}
+
+// AddLambdaIdle bills the provisioned-concurrency idle time of one warm
+// environment — the dollars paid for readiness rather than compute.
+func (m *Meter) AddLambdaIdle(ref string, memoryMB int, d time.Duration) {
+	m.Add(Item{Kind: "lambda-idle", Ref: ref, Duration: d, USD: LambdaIdleCost(memoryMB, d)})
 }
 
 // AddS3 bills S3 requests.

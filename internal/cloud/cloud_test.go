@@ -284,7 +284,7 @@ func TestQuickLambdaLifecycle(t *testing.T) {
 				return false
 			}
 		}
-		for _, v := range p.warmPool {
+		for _, v := range p.WarmSnapshot() {
 			if v < 0 {
 				return false
 			}

@@ -9,6 +9,7 @@ import (
 	"splitserve/internal/simclock"
 	"splitserve/internal/simrand"
 	"splitserve/internal/telemetry"
+	"splitserve/internal/warmpool"
 )
 
 // VMState enumerates the lifecycle of an instance.
@@ -94,7 +95,12 @@ type Lambda struct {
 	Config    LambdaConfig
 	State     LambdaState
 	ColdStart bool
-	InvokedAt time.Time
+	// Provisioned marks an invocation hosted on a provisioned-concurrency
+	// environment (InvokeProvisioned): it always starts warm and its
+	// environment belongs to a warmpool.Pool rather than the ambient
+	// warm-reuse accounting.
+	Provisioned bool
+	InvokedAt   time.Time
 	ReadyAt   time.Time
 	EndedAt   time.Time
 	// Egress is the invocation's private uplink pool (Lambdas do not share
@@ -161,8 +167,11 @@ type Provider struct {
 
 	vmSeq     int
 	lambdaSeq int
-	warmPool  map[int]int // memoryMB -> available warm environments
-	vms       []*VM
+	// warm is the single source of truth for ambient warm-environment
+	// availability (memoryMB -> count), shared bookkeeping with the
+	// provisioned-concurrency layer in internal/warmpool.
+	warm *warmpool.Accounting
+	vms  []*VM
 	lambdas   []*Lambda
 	insts     providerInstruments
 	bus       *eventlog.Bus
@@ -190,11 +199,11 @@ func NewProvider(clock *simclock.Clock, net *netsim.Network, rng *simrand.RNG, o
 		opts.Limits = DefaultLambdaLimits()
 	}
 	return &Provider{
-		clock:    clock,
-		net:      net,
-		rng:      rng,
-		opts:     opts,
-		warmPool: make(map[int]int),
+		clock: clock,
+		net:   net,
+		rng:   rng,
+		opts:  opts,
+		warm:  warmpool.NewAccounting(opts.WarmPoolSize),
 	}
 }
 
@@ -310,22 +319,34 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 	if err := cfg.Validate(p.opts.Limits); err != nil {
 		return nil, err
 	}
-	p.lambdaSeq++
-	warmAvail := p.warmPoolFor(cfg.MemoryMB)
-	cold := warmAvail <= 0
-	if !cold {
-		p.warmPool[cfg.MemoryMB] = warmAvail - 1
+	cold := !p.warm.TryTake(cfg.MemoryMB)
+	return p.invoke(cfg, cold, false, ready, expired), nil
+}
+
+// InvokeProvisioned launches a Lambda on a pre-initialized
+// provisioned-concurrency environment: always a warm start, and the
+// ambient warm-reuse accounting is untouched — the environment belongs
+// to a warmpool.Pool, which tracks it separately.
+func (p *Provider) InvokeProvisioned(cfg LambdaConfig, ready func(*Lambda), expired func(*Lambda)) (*Lambda, error) {
+	if err := cfg.Validate(p.opts.Limits); err != nil {
+		return nil, err
 	}
+	return p.invoke(cfg, false, true, ready, expired), nil
+}
+
+func (p *Provider) invoke(cfg LambdaConfig, cold, provisioned bool, ready func(*Lambda), expired func(*Lambda)) *Lambda {
+	p.lambdaSeq++
 	// Lambda network bandwidth is notoriously variable (gg [19]: "with
 	// variable performance"); each environment draws its own effective
 	// egress rate.
 	jitter := p.rng.TruncNormal(1, 0.15, 0.6, 1.4)
 	l := &Lambda{
-		ID:        fmt.Sprintf("la-%03d", p.lambdaSeq),
-		Config:    cfg,
-		State:     LambdaStarting,
-		ColdStart: cold,
-		InvokedAt: p.clock.Now(),
+		ID:          fmt.Sprintf("la-%03d", p.lambdaSeq),
+		Config:      cfg,
+		State:       LambdaStarting,
+		ColdStart:   cold,
+		Provisioned: provisioned,
+		InvokedAt:   p.clock.Now(),
 		Egress: p.net.NewPool(fmt.Sprintf("la-%03d/egress", p.lambdaSeq),
 			netsim.Mbps(cfg.EgressMbps()*jitter)),
 		onKill: expired,
@@ -334,7 +355,11 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 	si := startIdx(cold)
 	p.insts.lambdaInvocations[si].Inc()
 	p.insts.lambdasInFlight.Inc()
-	p.emit(eventlog.LambdaInvoke, l.ID, startNames[si], "")
+	kind := startNames[si]
+	if provisioned {
+		kind = "provisioned"
+	}
+	p.emit(eventlog.LambdaInvoke, l.ID, kind, "")
 	l.startSpan = p.tracer().StartSpan("cloud", "lambda_start",
 		telemetry.L("lambda", l.ID), telemetry.L("start", startNames[si]))
 	l.lifeSpan = p.tracer().StartSpan("cloud", "lambda", telemetry.L("lambda", l.ID))
@@ -367,11 +392,13 @@ func (p *Provider) Invoke(cfg LambdaConfig, ready func(*Lambda), expired func(*L
 			ready(l)
 		}
 	})
-	return l, nil
+	return l
 }
 
 // Release ends an invocation normally (tenant code returned); the
-// environment goes back to the warm pool.
+// environment goes back to the warm pool. Provisioned invocations skip
+// the ambient accounting: their environment is handed back to its
+// warmpool.Pool by the caller.
 func (p *Provider) Release(l *Lambda) {
 	if l.State != LambdaRunning && l.State != LambdaStarting {
 		return
@@ -386,7 +413,9 @@ func (p *Provider) Release(l *Lambda) {
 	p.emit(eventlog.LambdaRelease, l.ID, "", "")
 	l.startSpan.End()
 	l.lifeSpan.End()
-	p.warmPool[l.Config.MemoryMB] = p.warmPoolFor(l.Config.MemoryMB) + 1
+	if !l.Provisioned {
+		p.warm.Put(l.Config.MemoryMB)
+	}
 }
 
 // TimeToLive returns how much of the lifetime cap remains for a running
@@ -402,10 +431,10 @@ func (p *Provider) TimeToLive(l *Lambda) time.Duration {
 	return p.opts.Limits.MaxLifetime - used
 }
 
-func (p *Provider) warmPoolFor(memMB int) int {
-	if v, ok := p.warmPool[memMB]; ok {
-		return v
-	}
-	p.warmPool[memMB] = p.opts.WarmPoolSize
-	return p.opts.WarmPoolSize
-}
+// WarmAvailable returns how many ambient warm environments the given
+// memory size currently has.
+func (p *Provider) WarmAvailable(memMB int) int { return p.warm.Available(memMB) }
+
+// WarmSnapshot copies the ambient warm-environment availability map
+// (memoryMB -> count) for tests and inspection.
+func (p *Provider) WarmSnapshot() map[int]int { return p.warm.Snapshot() }

@@ -8,6 +8,7 @@ import (
 	"splitserve/internal/cloud"
 	"splitserve/internal/spark/engine"
 	"splitserve/internal/telemetry"
+	"splitserve/internal/warmpool"
 )
 
 // Per-executor launch constants, matching internal/core's defaults so the
@@ -47,9 +48,12 @@ type jobBackend struct {
 	drainingVM int
 
 	lambdaByExec map[string]*cloud.Lambda
-	draining     map[string]bool
-	execSeq      int
-	done         bool
+	// envByExec maps a provisioned-concurrency executor to the warm-pool
+	// environment hosting it, returned to the pool on removal.
+	envByExec map[string]*warmpool.Env
+	draining  map[string]bool
+	execSeq   int
+	done      bool
 }
 
 func newJobBackend(s *Scheduler, j *job) *jobBackend {
@@ -57,6 +61,7 @@ func newJobBackend(s *Scheduler, j *job) *jobBackend {
 		s: s, j: j,
 		leaseByExec:  make(map[string]*cloud.CoreLease),
 		lambdaByExec: make(map[string]*cloud.Lambda),
+		envByExec:    make(map[string]*warmpool.Env),
 		draining:     make(map[string]bool),
 	}
 }
@@ -147,6 +152,15 @@ func (b *jobBackend) launchVMExecutor(lease *cloud.CoreLease) {
 }
 
 func (b *jobBackend) launchLambdaExecutor() {
+	// The launching facility prefers the provisioned-concurrency pool: a
+	// warm environment starts in ~100 ms instead of a cold start, and its
+	// /tmp cache may already hold shuffle blocks from earlier work.
+	if b.s.warm != nil {
+		if env := b.s.warm.Acquire(); env != nil {
+			b.launchProvisionedExecutor(env)
+			return
+		}
+	}
 	b.lambdaPending++
 	b.execSeq++
 	id := fmt.Sprintf("%s-l%02d", b.j.execPrefix, b.execSeq)
@@ -182,6 +196,62 @@ func (b *jobBackend) launchLambdaExecutor() {
 	b.j.lambdas = append(b.j.lambdas, l)
 }
 
+// launchProvisionedExecutor hosts a Lambda executor on a warm-pool
+// environment. The executor's HostID is the *environment* ID, not the
+// invocation ID, so /tmp-cached shuffle blocks keyed by host survive
+// across the invocations (and jobs) the environment serves.
+func (b *jobBackend) launchProvisionedExecutor(env *warmpool.Env) {
+	b.lambdaPending++
+	b.execSeq++
+	id := fmt.Sprintf("%s-w%02d", b.j.execPrefix, b.execSeq)
+	cfg := cloud.LambdaConfig{MemoryMB: b.s.cfg.LambdaMemoryMB}
+	launch := b.c.Telemetry().Tracer().StartSpan("executor", "launch",
+		telemetry.L("exec", id), telemetry.L("kind", "warm-lambda"), telemetry.L("app", b.j.appID))
+	l, err := b.c.Provider().InvokeProvisioned(cfg,
+		func(l *cloud.Lambda) {
+			b.c.Clock().After(lambdaExecLaunchDelay, func() {
+				b.lambdaPending--
+				launch.End()
+				if b.done || b.live() >= b.desired {
+					b.c.Provider().Release(l)
+					b.s.warm.Release(env)
+					return
+				}
+				b.lambdaLive++
+				b.lambdaByExec[id] = l
+				b.envByExec[id] = env
+				if b.s.tmpCache != nil {
+					b.s.tmpCache.Track(env.ID)
+				}
+				cl := engine.LambdaExecutorClient(l)
+				cl.HostID = env.ID
+				b.c.RegisterExecutor(engine.ExecutorSpec{
+					ID: id, Kind: engine.ExecLambda, HostID: env.ID,
+					MemoryMB: cfg.MemoryMB,
+					CPUShare: cfg.CPUShare(b.c.Provider().Limits()) * lambdaCPUFactor,
+					IO:       cl, Serve: cl, Lambda: l,
+				})
+			})
+		},
+		func(l *cloud.Lambda) { b.onLambdaExpired(id) })
+	if err != nil {
+		b.lambdaPending--
+		launch.End()
+		b.s.warm.Release(env)
+		return
+	}
+	b.j.lambdas = append(b.j.lambdas, l)
+}
+
+// releaseEnvFor returns a provisioned executor's environment to the warm
+// pool (no-op for on-demand Lambda executors).
+func (b *jobBackend) releaseEnvFor(id string) {
+	if env := b.envByExec[id]; env != nil {
+		delete(b.envByExec, id)
+		b.s.warm.Release(env)
+	}
+}
+
 func (b *jobBackend) onLambdaExpired(id string) {
 	if b.done {
 		return
@@ -189,6 +259,7 @@ func (b *jobBackend) onLambdaExpired(id string) {
 	if e := b.c.Executor(id); e != nil && e.State != engine.ExecDead {
 		b.lambdaLive--
 		delete(b.lambdaByExec, id)
+		b.releaseEnvFor(id)
 		delete(b.draining, id)
 		b.c.RemoveExecutor(id, true, "lambda lifetime expired")
 		b.reconcile()
@@ -279,6 +350,7 @@ func (b *jobBackend) remove(e *engine.Executor, reason string) {
 			b.c.Provider().Release(l)
 			delete(b.lambdaByExec, e.ID)
 		}
+		b.releaseEnvFor(e.ID)
 		b.lambdaLive--
 		b.c.RemoveExecutor(e.ID, true, reason)
 	case engine.ExecVM:
@@ -320,6 +392,7 @@ func (b *jobBackend) shutdown() {
 					b.c.Provider().Release(l)
 					delete(b.lambdaByExec, e.ID)
 				}
+				b.releaseEnvFor(e.ID)
 				b.c.RemoveExecutor(e.ID, true, "job complete")
 			case engine.ExecVM:
 				b.c.RemoveExecutor(e.ID, false, "job complete")

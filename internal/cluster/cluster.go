@@ -25,7 +25,9 @@ import (
 	"splitserve/internal/simclock"
 	"splitserve/internal/simrand"
 	"splitserve/internal/spark/engine"
+	"splitserve/internal/storage"
 	"splitserve/internal/telemetry"
+	"splitserve/internal/warmpool"
 	"splitserve/internal/workloads"
 )
 
@@ -59,7 +61,7 @@ func StrategyByName(name string) (Strategy, error) {
 	case "bridge":
 		return StrategyBridge, nil
 	default:
-		return 0, fmt.Errorf("cluster: unknown strategy %q (want queue, autoscale or bridge)", name)
+		return 0, fmt.Errorf("cluster: unknown strategy %q (accepted: queue, autoscale, bridge)", name)
 	}
 }
 
@@ -125,6 +127,16 @@ type Config struct {
 	HybridSlowdown float64
 	// LambdaMemoryMB sizes bridged Lambda executors (default 1536).
 	LambdaMemoryMB int
+	// WarmPool, when > 0, provisions a target-tracked pool of that many
+	// pre-initialized Lambda environments (provisioned concurrency):
+	// bridged executors launched on them start warm, and their idle time
+	// is billed at the provisioned-idle rate as a separate line item.
+	WarmPool int
+	// TmpCache layers a function-local /tmp shuffle cache tier in front
+	// of the shared store: warm-pool environments keep an LRU copy
+	// (512 MB cap) of blocks they write or fetch, so repeat shuffle
+	// reads skip the network. Requires WarmPool > 0 to have any effect.
+	TmpCache bool
 	// Alloc labels how per-job core demands were chosen ("fixed", or the
 	// cost-manager policy behind -cores auto); it is echoed in the
 	// report so saved reports are self-describing.
@@ -260,6 +272,12 @@ type Scheduler struct {
 	pool     *cloud.CorePool
 	bus      *eventlog.Bus
 	insts    *clusterInstruments
+	// store is what job engines read and write shuffle through: the HDFS
+	// view, wrapped by tmpCache when Config.TmpCache is on.
+	store storage.Store
+	// warm is the provisioned-concurrency pool (nil when WarmPool = 0).
+	warm     *warmpool.Pool
+	tmpCache *warmpool.TmpCache
 
 	baseVMs  []*cloud.VM
 	procured []*cloud.VM
@@ -302,6 +320,9 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.ScaleDownIdle < 0 {
 		return nil, errors.New("cluster: ScaleDownIdle must be >= 0")
+	}
+	if cfg.WarmPool < 0 {
+		return nil, errors.New("cluster: WarmPool must be >= 0")
 	}
 	if cfg.HybridSlowdown == 0 {
 		cfg.HybridSlowdown = 1.10
@@ -358,10 +379,39 @@ func New(cfg Config) (*Scheduler, error) {
 		baseVMs = append(baseVMs, vm)
 	}
 
+	// Optional warm-pool substrate: a /tmp cache tier in front of HDFS
+	// (sized by the platform's per-environment ephemeral cap) and a
+	// provisioned-concurrency pool whose environment lifetime is the
+	// platform's. Environment recycling drops the environment's cache.
+	store := storage.Store(fs.Store())
+	var tmpCache *warmpool.TmpCache
+	if cfg.TmpCache {
+		tmpCache = warmpool.NewTmpCache(clock, bus, store, warmpool.CacheOptions{
+			CapacityBytes: provider.Limits().TmpBytes,
+		})
+		store = tmpCache
+	}
+	var warm *warmpool.Pool
+	if cfg.WarmPool > 0 {
+		var err error
+		warm, err = warmpool.NewPool(clock, bus, warmpool.Config{
+			MemoryMB:    cfg.LambdaMemoryMB,
+			Target:      cfg.WarmPool,
+			EnvLifetime: provider.Limits().MaxLifetime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if tmpCache != nil {
+			warm.SetOnExpire(tmpCache.Recycle)
+		}
+	}
+
 	s := &Scheduler{
 		cfg: cfg, clock: clock, net: net, hub: hub,
 		provider: provider, fs: fs, pool: pool, bus: bus,
 		insts: newClusterInstruments(hub), baseVMs: baseVMs,
+		store: store, warm: warm, tmpCache: tmpCache,
 		scaleCheck: make(map[string]bool), prof: cfg.Prof,
 	}
 	s.prof.AttachClock(clock)
@@ -430,6 +480,9 @@ func (s *Scheduler) Run() (*Report, error) {
 			j.err = fmt.Errorf("cluster: job %s never completed (queued or stalled)", j.appID)
 			s.insts.jobsFailed.Inc()
 		}
+	}
+	if s.warm != nil {
+		s.warm.Stop()
 	}
 	s.updateGauges()
 	return s.buildReport(), nil
@@ -632,7 +685,7 @@ func (s *Scheduler) admit(j *job) {
 		Clock:               s.clock,
 		Net:                 s.net,
 		Provider:            s.provider,
-		Store:               s.fs.Store(),
+		Store:               s.store,
 		Backend:             j.backend,
 		Log:                 lg,
 		Events:              s.bus,

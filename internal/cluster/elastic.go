@@ -56,7 +56,7 @@ func AdmissionByName(name string) (Admission, error) {
 	case "deadline":
 		return AdmissionDeadline, nil
 	default:
-		return 0, fmt.Errorf("cluster: unknown admission policy %q (want greedy or deadline)", name)
+		return 0, fmt.Errorf("cluster: unknown admission policy %q (accepted: greedy, deadline)", name)
 	}
 }
 

@@ -24,7 +24,7 @@ func PolicyByName(name string) (Policy, error) {
 	case "fair":
 		return FairShare(), nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown policy %q (want fifo or fair)", name)
+		return nil, fmt.Errorf("cluster: unknown policy %q (accepted: fifo, fair)", name)
 	}
 }
 

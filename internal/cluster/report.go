@@ -113,9 +113,25 @@ type Report struct {
 	VMHoursSaved        float64 `json:"vm_hours_saved"`
 	VMScaledownSavedUSD float64 `json:"vm_scaledown_saved_usd"`
 
+	// Warm-pool substrate (WarmPool > 0): configuration echo, pool
+	// effectiveness, and the provisioned-idle dollars — readiness you pay
+	// for whether or not it is invoked — itemized separately from
+	// invocation compute (LambdaUSD) and folded into TotalUSD.
+	WarmPool          int   `json:"warm_pool,omitempty"`
+	TmpCache          bool  `json:"tmp_cache,omitempty"`
+	WarmHits          int   `json:"warm_hits,omitempty"`
+	WarmMisses        int   `json:"warm_misses,omitempty"`
+	WarmResizes       int   `json:"warm_resizes,omitempty"`
+	WarmRecycled      int   `json:"warm_recycled,omitempty"`
+	TmpCacheHits      int64 `json:"tmp_cache_hits,omitempty"`
+	TmpCacheMisses    int64 `json:"tmp_cache_misses,omitempty"`
+	TmpCacheHitBytes  int64 `json:"tmp_cache_hit_bytes,omitempty"`
+	TmpCacheEvictions int64 `json:"tmp_cache_evictions,omitempty"`
+
 	VMBaseUSD      float64 `json:"vm_base_usd"`
 	VMAutoscaleUSD float64 `json:"vm_autoscale_usd"`
 	LambdaUSD      float64 `json:"lambda_usd"`
+	LambdaIdleUSD  float64 `json:"lambda_idle_usd,omitempty"`
 	TotalUSD       float64 `json:"total_usd"`
 
 	// Mean absolute relative prediction error of the cost manager over
@@ -298,7 +314,27 @@ func (s *Scheduler) buildReport() *Report {
 	if total := vmBusy + lambdaBusy; total > 0 {
 		r.LambdaShare = lambdaBusy.Seconds() / total.Seconds()
 	}
-	r.TotalUSD = r.VMBaseUSD + r.VMAutoscaleUSD + r.LambdaUSD
+	// Warm-pool substrate: effectiveness counters plus the idle-rate line
+	// item, billed per environment over the run window (the makespan —
+	// provisioned capacity costs money whether or not it is invoked).
+	if s.warm != nil {
+		r.WarmPool = s.cfg.WarmPool
+		r.WarmHits = s.warm.WarmHits()
+		r.WarmMisses = s.warm.Misses()
+		r.WarmResizes = s.warm.Resizes()
+		r.WarmRecycled = s.warm.Recycled()
+		for _, e := range s.warm.IdleBreakdown(end) {
+			r.LambdaIdleUSD += billing.LambdaIdleCost(s.cfg.LambdaMemoryMB, e.Idle)
+		}
+	}
+	if s.tmpCache != nil {
+		r.TmpCache = true
+		r.TmpCacheHits = s.tmpCache.Hits()
+		r.TmpCacheMisses = s.tmpCache.Misses()
+		r.TmpCacheHitBytes = s.tmpCache.HitBytes()
+		r.TmpCacheEvictions = s.tmpCache.Evictions()
+	}
+	r.TotalUSD = r.VMBaseUSD + r.VMAutoscaleUSD + r.LambdaUSD + r.LambdaIdleUSD
 	if r.PredictedJobs > 0 {
 		r.MeanAbsRunPredErr = runErrSum / float64(r.PredictedJobs)
 		r.MeanAbsCostPredErr = costErrSum / float64(r.PredictedJobs)
@@ -349,8 +385,21 @@ func (r *Report) String() string {
 		time.Duration(r.QueueWaitP99US)*time.Microsecond)
 	fmt.Fprintf(&b, "stretch mean %.2fx p99 %.2fx; core util %.1f%%; lambda share %.1f%%\n",
 		r.MeanStretch, r.P99Stretch, 100*r.CoreUtilization, 100*r.LambdaShare)
-	fmt.Fprintf(&b, "cost $%.2f (base $%.2f + scale $%.2f + lambda $%.2f)\n",
-		r.TotalUSD, r.VMBaseUSD, r.VMAutoscaleUSD, r.LambdaUSD)
+	if r.LambdaIdleUSD > 0 {
+		fmt.Fprintf(&b, "cost $%.2f (base $%.2f + scale $%.2f + lambda $%.2f + lambda-idle $%.4f)\n",
+			r.TotalUSD, r.VMBaseUSD, r.VMAutoscaleUSD, r.LambdaUSD, r.LambdaIdleUSD)
+	} else {
+		fmt.Fprintf(&b, "cost $%.2f (base $%.2f + scale $%.2f + lambda $%.2f)\n",
+			r.TotalUSD, r.VMBaseUSD, r.VMAutoscaleUSD, r.LambdaUSD)
+	}
+	if r.WarmPool > 0 {
+		fmt.Fprintf(&b, "warm-pool target %d: hits %d, misses %d, resizes %d, recycled %d, idle $%.4f\n",
+			r.WarmPool, r.WarmHits, r.WarmMisses, r.WarmResizes, r.WarmRecycled, r.LambdaIdleUSD)
+	}
+	if r.TmpCache {
+		fmt.Fprintf(&b, "tmp-cache: hits %d (%.1f MB), misses %d, evictions %d\n",
+			r.TmpCacheHits, float64(r.TmpCacheHitBytes)/(1<<20), r.TmpCacheMisses, r.TmpCacheEvictions)
+	}
 	fmt.Fprintf(&b, "vm-hours %.3f; released idle %d, saved %.3f vm-h = $%.4f\n",
 		r.VMHours, r.VMsReleasedIdle, r.VMHoursSaved, r.VMScaledownSavedUSD)
 	if r.PredictedJobs > 0 {

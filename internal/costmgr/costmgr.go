@@ -36,10 +36,14 @@ import (
 // the failure mode a version field exists to prevent.
 const Version = 1
 
-// Substrates a curve may be profiled on.
+// Substrates a curve may be profiled on. SubstrateWarmLambda is the
+// provisioned-concurrency pool with the /tmp shuffle cache tier: same
+// Lambda compute pricing, but warm starts and cached repeat reads shift
+// its time curve left relative to cold-start Lambda.
 const (
-	SubstrateVM     = "vm"
-	SubstrateLambda = "lambda"
+	SubstrateVM         = "vm"
+	SubstrateLambda     = "lambda"
+	SubstrateWarmLambda = "warm-lambda"
 )
 
 // Point is one profiled sample: the workload's execution time and
@@ -79,9 +83,9 @@ func (f *File) Validate() error {
 		if c.Workload == "" {
 			return fmt.Errorf("costmgr: curve %d has no workload name", i)
 		}
-		if c.Substrate != SubstrateVM && c.Substrate != SubstrateLambda {
-			return fmt.Errorf("costmgr: curve %d (%s) has unknown substrate %q (want %s or %s)",
-				i, c.Workload, c.Substrate, SubstrateVM, SubstrateLambda)
+		if c.Substrate != SubstrateVM && c.Substrate != SubstrateLambda && c.Substrate != SubstrateWarmLambda {
+			return fmt.Errorf("costmgr: curve %d (%s) has unknown substrate %q (want %s, %s or %s)",
+				i, c.Workload, c.Substrate, SubstrateVM, SubstrateLambda, SubstrateWarmLambda)
 		}
 		k := [2]string{c.Workload, c.Substrate}
 		if seen[k] {
@@ -186,7 +190,7 @@ func PolicyByName(name string) (Policy, error) {
 	case "knee":
 		return Knee, nil
 	default:
-		return 0, fmt.Errorf("costmgr: unknown allocation policy %q (want min-cost, min-time or knee)", name)
+		return 0, fmt.Errorf("costmgr: unknown allocation policy %q (accepted: min-cost, min-time, knee)", name)
 	}
 }
 
@@ -272,21 +276,30 @@ func (m *Manager) Curve(workload, substrate string) *Curve {
 }
 
 // curveFor resolves the curve a request should consult: the requested
-// substrate first (default vm), then the other one, so a file profiled
-// on a single substrate still drives decisions.
+// substrate first (default vm), then the remaining substrates in a
+// fixed preference order, so a file profiled on a subset of substrates
+// still drives decisions. warm-lambda falls back to lambda before vm
+// (closest cost model), everything else prefers vm then lambda.
 func (m *Manager) curveFor(req Request) *Curve {
 	pref := req.Substrate
 	if pref == "" {
 		pref = SubstrateVM
 	}
-	if c := m.Curve(req.Workload, pref); c != nil {
-		return c
+	order := []string{pref}
+	switch pref {
+	case SubstrateWarmLambda:
+		order = append(order, SubstrateLambda, SubstrateVM)
+	case SubstrateLambda:
+		order = append(order, SubstrateVM, SubstrateWarmLambda)
+	default:
+		order = append(order, SubstrateLambda, SubstrateWarmLambda)
 	}
-	other := SubstrateLambda
-	if pref == SubstrateLambda {
-		other = SubstrateVM
+	for _, sub := range order {
+		if c := m.Curve(req.Workload, sub); c != nil {
+			return c
+		}
 	}
-	return m.Curve(req.Workload, other)
+	return nil
 }
 
 // Predict interpolates c at parallelism r: linear between neighboring

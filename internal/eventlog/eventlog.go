@@ -79,6 +79,17 @@ const (
 	// arriving job (Cores = chosen R; Note = policy, predicted run time
 	// and cost, and whether a profile or the fallback informed it).
 	CostPick Type = "cost_pick"
+
+	// Warm pool (provisioned-concurrency substrate). LambdaWarmHit marks
+	// an invocation served by a pre-initialized environment (Exec = the
+	// environment ID, Note = the invocation it hosts); WarmpoolResize
+	// records a target-tracking resize (Cores = new target, Note =
+	// old->new); TmpCacheHit/TmpCacheEvict track the /tmp shuffle cache
+	// tier (Exec = environment, Bytes = cached bytes served or evicted).
+	LambdaWarmHit  Type = "lambda_warm_hit"
+	TmpCacheHit    Type = "tmp_cache_hit"
+	TmpCacheEvict  Type = "tmp_cache_evict"
+	WarmpoolResize Type = "warmpool_resize"
 )
 
 // Valid reports whether t is a known event type.
@@ -92,7 +103,8 @@ func (t Type) Valid() bool {
 		CoreLease, CoreRelease,
 		ClusterArrive, ClusterAdmit, ClusterFinish, ClusterFail,
 		SLOViolate, SegueCoreGrant, AutoscaleOrder,
-		VMReleaseIdle, ClusterShed, ClusterDelay, CostPick:
+		VMReleaseIdle, ClusterShed, ClusterDelay, CostPick,
+		LambdaWarmHit, TmpCacheHit, TmpCacheEvict, WarmpoolResize:
 		return true
 	}
 	return false

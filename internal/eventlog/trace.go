@@ -198,9 +198,17 @@ func BuildTrace(events []Event) *TraceFile {
 			}
 			instant(e, string(e.Type), pidOf(e.App), tid, "p", argsFor(e))
 		case VMRequest, VMReady, LambdaInvoke, LambdaReady, LambdaRelease,
-			CoreLease, CoreRelease, VMReleaseIdle:
+			CoreLease, CoreRelease, VMReleaseIdle, LambdaWarmHit, WarmpoolResize:
 			// Control-plane events are global: they have no app process.
 			instant(e, string(e.Type), pidOf(e.App), driverTID, "g", argsFor(e))
+		case TmpCacheHit, TmpCacheEvict:
+			// /tmp cache traffic renders like shuffle I/O, on the
+			// environment's executor track when one is known.
+			tid := driverTID
+			if e.Exec != "" {
+				tid = tidOf(e.App, e.Exec, "")
+			}
+			instant(e, fmt.Sprintf("%s %dB", e.Type, e.Bytes), pidOf(e.App), tid, "t", argsFor(e))
 		case ShuffleRead, ShuffleWrite, HDFSRead, HDFSWrite:
 			tid := driverTID
 			if e.Exec != "" {

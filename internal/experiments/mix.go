@@ -17,10 +17,11 @@ import (
 // from; the names double as profile-curve keys, so `splitserve-profile
 // -out` and `splitserve-cluster -cores auto` agree on vocabulary.
 var mixFactories = map[string]func(seed uint64) workloads.Workload{
-	"sparkpi":  NewSparkPi,
-	"pagerank": NewPageRank,
-	"kmeans":   NewKMeans,
-	"tpcds":    func(seed uint64) workloads.Workload { return NewTPCDSQuery("q95") },
+	"sparkpi":      NewSparkPi,
+	"pagerank":     NewPageRank,
+	"kmeans":       NewKMeans,
+	"tpcds":        func(seed uint64) workloads.Workload { return NewTPCDSQuery("q95") },
+	"shufflereuse": NewShuffleReuse,
 }
 
 // MixWorkload resolves a cluster-mix workload name to its calibrated

@@ -1,0 +1,92 @@
+// Package warmpool models AWS-style provisioned concurrency and stateful
+// Lambda executors: a target-tracked pool of pre-initialized environments
+// (near-zero start latency, billed at an idle-time rate even when unused)
+// plus a /tmp-local shuffle cache tier that serves repeat shuffle reads
+// from function-local storage. The package is substrate-agnostic — it
+// never imports internal/cloud — so the provider's ambient warm-reuse
+// bookkeeping can delegate to Accounting below without an import cycle,
+// and the cluster layer glues Pool environments to provider invocations.
+package warmpool
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Accounting is the single source of truth for ambient warm-environment
+// counts, keyed by function memory size. It replaces the ad-hoc
+// map[int]int bookkeeping internal/cloud/provider.go used to carry: every
+// warm-start decision goes through TryTake, every normal release through
+// Put, and the count can never go negative by construction.
+type Accounting struct {
+	seed  int
+	avail map[int]int
+}
+
+// NewAccounting returns an Accounting whose every memory configuration
+// starts with seedPerConfig dormant warm environments (0 = everything
+// cold).
+func NewAccounting(seedPerConfig int) *Accounting {
+	if seedPerConfig < 0 {
+		seedPerConfig = 0
+	}
+	return &Accounting{seed: seedPerConfig, avail: make(map[int]int)}
+}
+
+func (a *Accounting) countFor(memMB int) int {
+	if v, ok := a.avail[memMB]; ok {
+		return v
+	}
+	a.avail[memMB] = a.seed
+	return a.seed
+}
+
+// TryTake claims one warm environment of the given memory size. It
+// reports false — a cold start — when none is available; the count never
+// drops below zero.
+func (a *Accounting) TryTake(memMB int) bool {
+	n := a.countFor(memMB)
+	if n <= 0 {
+		return false
+	}
+	a.avail[memMB] = n - 1
+	return true
+}
+
+// Put returns one environment of the given memory size to the warm set.
+func (a *Accounting) Put(memMB int) {
+	a.avail[memMB] = a.countFor(memMB) + 1
+}
+
+// Available returns how many warm environments the given memory size has.
+func (a *Accounting) Available(memMB int) int { return a.countFor(memMB) }
+
+// Snapshot copies the per-memory-size availability map (tests,
+// inspection).
+func (a *Accounting) Snapshot() map[int]int {
+	out := make(map[int]int, len(a.avail))
+	for k, v := range a.avail {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the availability in ascending memory order.
+func (a *Accounting) String() string {
+	sizes := make([]int, 0, len(a.avail))
+	for k := range a.avail {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	var b strings.Builder
+	b.WriteString("warm{")
+	for i, s := range sizes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%dMB:%d", s, a.avail[s])
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+// Package shufflereuse implements a synthetic workload whose defining
+// trait is *repeat shuffle reads*: one wide shuffle (ReduceByKey)
+// followed by several actions over the shuffled RDD. The DAG scheduler
+// skips the completed map stage on each repeat action, so every action
+// after the first re-fetches the same shuffle blocks — the access
+// pattern that rewards a function-local /tmp cache tier (a stateful
+// Lambda serves repeats from local storage instead of re-crossing its
+// egress link) and the workload behind the warm-pool crossover
+// experiment.
+package shufflereuse
+
+import (
+	"fmt"
+	"time"
+
+	"splitserve/internal/spark/engine"
+	"splitserve/internal/spark/rdd"
+	"splitserve/internal/workloads"
+)
+
+// Config parameterises a shuffle-reuse run.
+type Config struct {
+	// Partitions is both the source and the shuffle width (= executors).
+	Partitions int
+	// RowsPerPartition is the map-side row count per partition.
+	RowsPerPartition int
+	// RowBytes is the modelled serialized size of one map-output row;
+	// Partitions × RowsPerPartition × RowBytes is the shuffle volume
+	// every repeat action re-reads.
+	RowBytes int
+	// Keys is the number of distinct reduce keys.
+	Keys int
+	// Reuse is how many actions run over the shuffled RDD (>= 1); each
+	// action past the first is a pure repeat read of the shuffle.
+	Reuse int
+	// CostPerRow is CPU work units per row on both sides of the shuffle.
+	CostPerRow float64
+	// ExpectedSLO for the segueing facility.
+	ExpectedSLO time.Duration
+}
+
+// DefaultConfig shuffles 64 MB across 8 partitions and reads it 3 times.
+func DefaultConfig() Config {
+	return Config{
+		Partitions:       8,
+		RowsPerPartition: 4000,
+		RowBytes:         2048,
+		Keys:             512,
+		Reuse:            3,
+		CostPerRow:       2000,
+		ExpectedSLO:      2 * time.Minute,
+	}
+}
+
+// kv is one map-output row.
+type kv struct {
+	K int
+	V int64
+}
+
+// Workload is the shuffle-reuse workload.
+type Workload struct {
+	cfg Config
+}
+
+var _ workloads.Workload = (*Workload)(nil)
+
+// New returns a shuffle-reuse workload.
+func New(cfg Config) *Workload {
+	if cfg.Partitions <= 0 || cfg.RowsPerPartition <= 0 {
+		panic("shufflereuse: invalid config")
+	}
+	if cfg.RowBytes <= 0 {
+		cfg.RowBytes = 2048
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 512
+	}
+	if cfg.Reuse < 1 {
+		cfg.Reuse = 1
+	}
+	if cfg.CostPerRow <= 0 {
+		cfg.CostPerRow = 2000
+	}
+	if cfg.ExpectedSLO <= 0 {
+		cfg.ExpectedSLO = 2 * time.Minute
+	}
+	return &Workload{cfg: cfg}
+}
+
+// Name implements workloads.Workload.
+func (w *Workload) Name() string {
+	return fmt.Sprintf("shufflereuse-%dx%d-r%d", w.cfg.Partitions, w.cfg.RowsPerPartition, w.cfg.Reuse)
+}
+
+// DefaultParallelism implements workloads.Workload.
+func (w *Workload) DefaultParallelism() int { return w.cfg.Partitions }
+
+// SLO implements workloads.Workload.
+func (w *Workload) SLO() time.Duration { return w.cfg.ExpectedSLO }
+
+// Plan builds source -> ReduceByKey. The returned RDD is shuffled: each
+// action over it re-runs only the reduce side against the already
+// materialized map outputs.
+func (w *Workload) Plan(ctx *rdd.Context) *rdd.RDD {
+	cfg := w.cfg
+	events := ctx.Source("events", cfg.Partitions, func(p int) []rdd.Row {
+		rows := make([]rdd.Row, cfg.RowsPerPartition)
+		for i := range rows {
+			rows[i] = kv{K: (p*cfg.RowsPerPartition + i) % cfg.Keys, V: 1}
+		}
+		return rows
+	}, cfg.CostPerRow, cfg.RowBytes)
+	return events.ReduceByKey("bykey", cfg.Partitions,
+		func(r rdd.Row) rdd.Key { return r.(kv).K },
+		func(a, b rdd.Row) rdd.Row { return kv{K: a.(kv).K, V: a.(kv).V + b.(kv).V} },
+		cfg.CostPerRow, cfg.RowBytes)
+}
+
+// Run implements workloads.Workload: one shuffle, then Reuse actions
+// over it, verifying the aggregate count each time.
+func (w *Workload) Run(c *engine.Cluster) (*workloads.Report, error) {
+	return workloads.Timed(c, w.Name(), func() (string, int, error) {
+		ctx := rdd.NewContext()
+		shuffled := w.Plan(ctx)
+		want := int64(w.cfg.Partitions) * int64(w.cfg.RowsPerPartition)
+		for action := 1; action <= w.cfg.Reuse; action++ {
+			job, err := c.RunJob(shuffled, fmt.Sprintf("%s#%d", w.Name(), action))
+			if err != nil {
+				return "", 0, err
+			}
+			var total int64
+			for _, r := range job.Rows() {
+				total += r.(kv).V
+			}
+			if total != want {
+				return "", 0, fmt.Errorf("shufflereuse: action %d counted %d rows, want %d",
+					action, total, want)
+			}
+		}
+		answer := fmt.Sprintf("%d rows through %d reads of a %d MB shuffle",
+			want, w.cfg.Reuse,
+			int64(w.cfg.Partitions)*int64(w.cfg.RowsPerPartition)*int64(w.cfg.RowBytes)>>20)
+		return answer, w.cfg.Reuse, nil
+	})
+}
