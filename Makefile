@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz sim bench smoke warmsweep loadbench
+.PHONY: build test check vet race fuzz sim bench smoke attrib warmsweep loadbench
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ check:
 	$(GO) vet ./... && $(GO) test -race -count=2 ./...
 	$(MAKE) fuzz
 	$(MAKE) smoke
+	$(MAKE) attrib
 
 # smoke round-trips the observability pipeline (run a small cluster day,
 # save its event log, replay it through splitserve-history, convert it to
@@ -62,6 +63,23 @@ smoke:
 	$(GO) run ./cmd/splitserve-history -log smoke/warm-events.jsonl \
 		-trace smoke/warm-trace.json
 	@test -s smoke/warm-trace.json && echo "smoke: warm-pool event log replayed, trace written to smoke/warm-trace.json"
+
+# attrib smokes the causal-attribution pipeline (OBSERVABILITY.md,
+# Layer 4): run a small cluster day, write its attribution report,
+# render the /attrib waterfall HTML, then diff the report against itself
+# — which must come out all-zeros ("no change"). CI uploads
+# smoke/attrib.json and smoke/attrib.html as artifacts.
+attrib:
+	mkdir -p smoke
+	$(GO) run ./cmd/splitserve-cluster -jobs 3 -mix sparkpi -pool 8 \
+		-eventlog smoke/attrib-events.jsonl -attrib smoke/attrib.json > /dev/null
+	$(GO) run ./cmd/splitserve-history -log smoke/attrib-events.jsonl \
+		-attribhtml smoke/attrib.html > /dev/null
+	@test -s smoke/attrib.json && test -s smoke/attrib.html \
+		&& echo "attrib: report written to smoke/attrib.json, waterfall to smoke/attrib.html"
+	@$(GO) run ./cmd/splitserve-history -diff smoke/attrib.json smoke/attrib.json \
+		| grep -q 'no change' \
+		&& echo "attrib: self-diff is all zeros"
 
 # warmsweep regenerates the warm-pool crossover table (EXPERIMENTS.md,
 # "Warm-pool Lambda with a /tmp shuffle cache tier"). CI uploads the

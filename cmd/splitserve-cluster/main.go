@@ -117,8 +117,10 @@ func run() int {
 		warmPool  = flag.Int("warmpool", 0, "provision this many warm Lambda environments (provisioned concurrency; 0 disables)")
 		tmpCache  = flag.Bool("tmpcache", false, "serve repeat shuffle reads from warm environments' /tmp cache tier (needs -warmpool)")
 		warmsweep = flag.Bool("warmsweep", false, "run the warm-pool crossover sweep: VM autoscale vs cold Lambda vs warm+cached Lambda per arrival rate x shuffle reuse")
+		coldstart = flag.Bool("coldstarts", false, "model a cold ambient Lambda fleet: first invocations pay the full cold-start latency (default: always-warm ambient environments)")
 		eventLog  = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace     = flag.String("trace", "", cliutil.TraceUsage)
+		attribF   = flag.String("attrib", "", cliutil.AttribUsage)
 	)
 	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
@@ -159,6 +161,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -warmpool %d (0 disables)\n", *warmPool)
 		return 2
 	}
+	perf.Label = *strategy + "/" + *mixSpec
 	prof, err := perf.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
@@ -334,6 +337,7 @@ func run() int {
 		ScaleDownIdle: *scaledown,
 		WarmPool:      *warmPool,
 		TmpCache:      *tmpCache,
+		ColdStarts:    *coldstart,
 		Alloc:         allocLabel,
 		Prof:          prof,
 	})
@@ -351,6 +355,10 @@ func run() int {
 		return 1
 	}
 	if err := cliutil.WriteTrace(*trace, s.Events().Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	if err := cliutil.WriteAttrib(*attribF, s.Events().Events()); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 1
 	}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"html"
+
+	"splitserve/internal/attrib"
+)
+
+// causeColors is the blame palette for the /attrib waterfall. Compute
+// stays the timeline's task green; waits and overheads get their own
+// hues so a glance shows where the makespan went.
+var causeColors = map[attrib.Cause]string{
+	attrib.QueueWait:       "#a89f68",
+	attrib.AdmissionDelay:  "#8c6fb0",
+	attrib.VMBoot:          "#4f7fb0",
+	attrib.LambdaColdStart: "#b55f1f",
+	attrib.Compute:         colorVM,
+	attrib.ShuffleWrite:    "#3aa0a0",
+	attrib.ShuffleFetch:    "#2a7f7f",
+	attrib.StragglerTail:   colorStraggler,
+	attrib.PreemptOverhead: "#999999",
+}
+
+// renderAttribHTML builds the /attrib page: one waterfall row per job,
+// its critical path tiled as blame-colored slices on the shared virtual
+// clock, with the aggregate attribution tables below.
+func renderAttribHTML(rep *attrib.Report) []byte {
+	var b bytes.Buffer
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8"><title>splitserve-history · attribution</title>
+<style>
+body { font-family: monospace; margin: 1.5em; }
+pre  { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+.legend span { display: inline-block; width: 12px; height: 12px; margin: 0 4px 0 12px; vertical-align: middle; }
+.note { color: #777; }
+</style></head><body>
+<h1>causal attribution</h1>
+<p><a href="/">timeline</a> &middot; <a href="/trace">trace.json</a> &middot; <a href="/analysis">analysis</a> &middot; <a href="/log">event log</a> &middot; <a href="/perf">self-profiling</a></p>
+<p class="note">Each row is one job's critical path on the virtual clock, tiled into blame
+slices that sum to its makespan (schema ` + attrib.SchemaV1 + `).</p>
+`)
+	if len(rep.Jobs) == 0 {
+		b.WriteString("<p>No jobs to attribute in this log.</p>\n</body></html>\n")
+		return b.Bytes()
+	}
+
+	b.WriteString(`<p class="legend">`)
+	for _, c := range attrib.Causes {
+		if c.Savings() {
+			continue
+		}
+		fmt.Fprintf(&b, `<span style="background:%s"></span>%s`, causeColors[c], string(c))
+	}
+	b.WriteString("</p>\n")
+
+	// Global window: all jobs share one clock axis.
+	lo, hi := rep.Jobs[0].ArrivalUS, rep.Jobs[0].EndUS
+	for _, j := range rep.Jobs {
+		if j.ArrivalUS < lo {
+			lo = j.ArrivalUS
+		}
+		if j.EndUS > hi {
+			hi = j.EndUS
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	x := func(us int64) float64 {
+		return float64(us-lo) / float64(hi-lo) * svgWidth
+	}
+
+	var svg bytes.Buffer
+	height := len(rep.Jobs)*(rowHeight+rowGap) + rowGap
+	fmt.Fprintf(&svg, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`,
+		labelWidth+svgWidth+10, height)
+	for i, j := range rep.Jobs {
+		y := rowGap + i*(rowHeight+rowGap)
+		label := j.App
+		if j.Failed {
+			label += " (failed)"
+		}
+		fmt.Fprintf(&svg, `<text x="%d" y="%d">%s</text>`,
+			4, y+rowHeight-7, html.EscapeString(trunc(label, 34)))
+		for _, seg := range j.Path {
+			sx := x(seg.StartUS)
+			sw := x(seg.EndUS) - sx
+			if sw < 1 {
+				sw = 1
+			}
+			fill, ok := causeColors[seg.Cause]
+			if !ok {
+				fill = colorLifetime
+			}
+			tip := fmt.Sprintf("%s: %s", seg.Cause, durLabel(seg.DurUS()))
+			if seg.Stage >= 0 {
+				tip += fmt.Sprintf(" (stage %d task %d", seg.Stage, seg.Task)
+				if seg.Exec != "" {
+					tip += " on " + seg.Exec
+				}
+				tip += ")"
+			} else if seg.Exec != "" {
+				tip += " (" + seg.Exec + ")"
+			} else if seg.Detail != "" {
+				tip += " (" + seg.Detail + ")"
+			}
+			fmt.Fprintf(&svg,
+				`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s</title></rect>`,
+				float64(labelWidth)+sx, y+2, sw, rowHeight-4, fill, html.EscapeString(tip))
+		}
+	}
+	fmt.Fprint(&svg, `</svg>`)
+	b.Write(svg.Bytes())
+
+	b.WriteString("\n<h2>blame tables</h2>\n<pre>")
+	b.WriteString(html.EscapeString(rep.String()))
+	b.WriteString("</pre>\n</body></html>\n")
+	return b.Bytes()
+}

@@ -7,10 +7,13 @@
 //	splitserve-history -log events.jsonl                  # analytics tables
 //	splitserve-history -log events.jsonl -trace out.json  # Chrome trace for ui.perfetto.dev
 //	splitserve-history -log events.jsonl -serve :8080     # timeline over HTTP
+//	splitserve-history -log events.jsonl -attrib rep.json # causal attribution report
+//	splitserve-history -diff old.json new.json            # per-cause attribution deltas
 //	splitserve-history -workload kmeans -scenario hybrid  # run inline, no saved log
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net/http"
@@ -19,6 +22,7 @@ import (
 	"strings"
 
 	"splitserve"
+	"splitserve/internal/attrib"
 	"splitserve/internal/cliutil"
 	"splitserve/internal/eventlog"
 	"splitserve/internal/perfstat"
@@ -58,13 +62,21 @@ func run() int {
 		seed     = flag.Uint64("seed", 1, "inline run: simulation seed")
 		factor   = flag.Float64("factor", eventlog.DefaultStragglerFactor,
 			"straggler cut as a multiple of the stage median task duration")
-		trace  = flag.String("trace", "", cliutil.TraceUsage)
-		serve  = flag.String("serve", "", "serve the timeline over HTTP at this address (e.g. :8080) instead of printing")
-		perfin = flag.String("perfin", "", "saved perfstat snapshot (from any command's -perf) to render on the /perf page")
+		trace      = flag.String("trace", "", cliutil.TraceUsage)
+		attribF    = flag.String("attrib", "", cliutil.AttribUsage)
+		attribHTML = flag.String("attribhtml", "", "write the /attrib waterfall page as standalone HTML to this file (- = stdout)")
+		diffMode   = flag.Bool("diff", false, "compare two runs: splitserve-history -diff OLD NEW, where each is an attribution report (JSON) or an event log (JSONL)")
+		serve      = flag.String("serve", "", "serve the timeline over HTTP at this address (e.g. :8080) instead of printing")
+		perfin     = flag.String("perfin", "", "saved perfstat snapshot (from any command's -perf) to render on the /perf page")
 	)
 	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
 
+	if *diffMode {
+		return runDiff(flag.Args())
+	}
+
+	perf.Label = "history"
 	prof, err := perf.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
@@ -85,8 +97,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
 		return 1
 	}
+	if err := cliutil.WriteAttrib(*attribF, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+		return 1
+	}
 
 	analysis := eventlog.Analyze(events, *factor)
+	attribution := attrib.Analyze(events)
+	if *attribHTML != "" {
+		if err := writeFileOrStdout(*attribHTML, renderAttribHTML(attribution)); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-history:", err)
+			return 1
+		}
+	}
 
 	// The /perf page renders a saved snapshot (-perfin) or, failing that,
 	// the profile of this process's own inline run (-perf).
@@ -110,9 +133,9 @@ func run() int {
 	}
 
 	if *serve != "" {
-		fmt.Fprintf(os.Stderr, "splitserve-history: serving %d events on http://%s/ (/, /trace, /analysis, /log, /perf)\n",
+		fmt.Fprintf(os.Stderr, "splitserve-history: serving %d events on http://%s/ (/, /trace, /analysis, /attrib, /log, /perf)\n",
 			len(events), strings.TrimPrefix(*serve, ":"))
-		if err := serveHistory(*serve, events, analysis, snap); err != nil {
+		if err := serveHistory(*serve, events, analysis, attribution, snap); err != nil {
 			fmt.Fprintln(os.Stderr, "splitserve-history:", err)
 			return 1
 		}
@@ -197,14 +220,16 @@ func spanOf(events []eventlog.Event) string {
 
 // serveHistory exposes the replayed run over HTTP: an HTML timeline at /,
 // the Chrome trace JSON at /trace, the analytics text at /analysis, the
-// raw log at /log, and host-side self-profiling at /perf.
-func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analysis, snap *perfstat.Snapshot) error {
+// causal-attribution waterfall at /attrib, the raw log at /log, and
+// host-side self-profiling at /perf.
+func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analysis, attribution *attrib.Report, snap *perfstat.Snapshot) error {
 	traceJSON, err := eventlog.ChromeTrace(events)
 	if err != nil {
 		return err
 	}
 	page := renderHTML(analysis)
 	analysisText := analysis.String()
+	attribPage := renderAttribHTML(attribution)
 	perfPage := renderPerfHTML(snap)
 
 	mux := http.NewServeMux()
@@ -229,9 +254,63 @@ func serveHistory(addr string, events []eventlog.Event, analysis *eventlog.Analy
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		eventlog.WriteJSONL(w, events)
 	})
+	mux.HandleFunc("/attrib", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(attribPage)
+	})
 	mux.HandleFunc("/perf", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write(perfPage)
 	})
 	return http.ListenAndServe(addr, mux)
+}
+
+// runDiff implements -diff OLD NEW: each argument is either a saved
+// splitserve-attrib/v1 report or an event log (JSONL), which is
+// attributed on the fly. The per-cause comparison prints as a table;
+// the exit code is 0 either way (a nonzero delta is not an error).
+func runDiff(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "splitserve-history: -diff needs exactly two arguments: OLD NEW")
+		return 2
+	}
+	old, err := loadReport(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitserve-history: %s: %v\n", args[0], err)
+		return 1
+	}
+	new, err := loadReport(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitserve-history: %s: %v\n", args[1], err)
+		return 1
+	}
+	fmt.Print(attrib.DiffReports(old, new).String())
+	return 0
+}
+
+// loadReport reads path as an attribution report, falling back to
+// replaying it as an event log and attributing that.
+func loadReport(path string) (*attrib.Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if rep, err := attrib.ParseReport(buf); err == nil {
+		return rep, nil
+	}
+	events, err := eventlog.ReadJSONL(bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("neither an attribution report nor an event log: %w", err)
+	}
+	return attrib.Analyze(events), nil
+}
+
+// writeFileOrStdout mirrors cliutil's output convention for the
+// standalone attribution HTML ("-" = stdout).
+func writeFileOrStdout(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

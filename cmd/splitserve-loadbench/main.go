@@ -39,6 +39,7 @@ func run() int {
 		compare   = flag.Bool("compare", false, "compare two BENCH files: splitserve-loadbench -compare OLD NEW")
 		threshold = flag.Float64("threshold", 0.10, "relative change past which -compare exits nonzero (0.10 = 10% worse)")
 		quiet     = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+		commit    = flag.String("commit", cliutil.CommitFromEnv(), cliutil.CommitUsage)
 	)
 	perf := &cliutil.PerfFlags{}
 	flag.StringVar(&perf.CPUProfile, "cpuprofile", "", cliutil.CPUProfileUsage)
@@ -84,6 +85,7 @@ func run() int {
 	file := &loadbench.File{
 		Schema:    loadbench.SchemaV1,
 		Label:     *label,
+		Commit:    *commit,
 		GoVersion: runtime.Version(),
 		Seed:      *seed,
 	}

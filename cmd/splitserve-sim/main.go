@@ -62,6 +62,7 @@ func run() int {
 		report   = flag.String("report", "", "emit only the telemetry report: json | prom")
 		eventLog = flag.String("eventlog", "", cliutil.EventLogUsage)
 		trace    = flag.String("trace", "", cliutil.TraceUsage)
+		attribF  = flag.String("attrib", "", cliutil.AttribUsage)
 	)
 	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
@@ -81,6 +82,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 2
 	}
+	perf.Label = *scenario + "/" + *workload
 	prof, err := perf.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
@@ -118,6 +120,10 @@ func run() int {
 		return 1
 	}
 	if err := cliutil.WriteTrace(*trace, res.Events()); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
+		return 1
+	}
+	if err := cliutil.WriteAttrib(*attribF, res.Events()); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-sim:", err)
 		return 1
 	}

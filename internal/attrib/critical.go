@@ -1,0 +1,631 @@
+package attrib
+
+import (
+	"sort"
+	"strings"
+
+	"splitserve/internal/eventlog"
+)
+
+// taskIval is one finished task occurrence, the unit the critical-path
+// walk steps through.
+type taskIval struct {
+	startUS int64
+	endUS   int64
+	stage   int
+	task    int
+	exec    string
+	kind    string
+}
+
+// ioPoint is one shuffle instant (bytes at a timestamp) used to model
+// I/O time inside critical tasks.
+type ioPoint struct {
+	tsUS  int64
+	task  int
+	exec  string
+	bytes int64
+}
+
+// appLog is everything the walk needs about one application, extracted
+// from the stream in a single pass.
+type appLog struct {
+	app       string
+	name      string
+	arrivalUS int64
+	admitUS   int64
+	endUS     int64
+	delayed   bool
+	failed    bool
+	tasks     []taskIval
+	execAdd   map[string]int64  // executor -> registration TS
+	execKind  map[string]string // executor -> "vm" | "lambda"
+	execRem   map[string]int64  // executor -> removal TS (-1 = never)
+	reads     []ioPoint         // shuffle_read instants
+	writes    []ioPoint         // shuffle_write instants
+	// stageStart maps stage -> earliest stage_start TS: the moment the
+	// stage's tasks became runnable (the walk's "stage ready" anchor).
+	stageStart map[int]int64
+	// medians holds the per-stage median task duration, the straggler
+	// baseline (same rule as eventlog.Analyze).
+	medians map[int]int64
+	// looseEndUS is the latest engine-level end observed (job_end, task
+	// ends) — the fallback end for logs without cluster events.
+	looseEndUS int64
+}
+
+// attributeJobs extracts per-app logs from the stream and runs the
+// causal decomposition on each, in first-arrival order (ties broken by
+// app name) so the report layout is deterministic.
+func attributeJobs(events []eventlog.Event) []JobAttribution {
+	apps := collectApps(events)
+	if len(apps) == 0 {
+		return nil
+	}
+	order := make([]*appLog, 0, len(apps))
+	for _, al := range apps {
+		order = append(order, al)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].arrivalUS != order[j].arrivalUS {
+			return order[i].arrivalUS < order[j].arrivalUS
+		}
+		return order[i].app < order[j].app
+	})
+	out := make([]JobAttribution, 0, len(order))
+	for _, al := range order {
+		out = append(out, attributeApp(al))
+	}
+	return out
+}
+
+// collectApps partitions the stream by application. Events with no app
+// (cloud control plane, warm pool) are shared context and not a job.
+func collectApps(events []eventlog.Event) map[string]*appLog {
+	apps := map[string]*appLog{}
+	type taskKey struct {
+		exec  string
+		stage int
+		task  int
+	}
+	open := map[string]map[taskKey]int64{} // app -> open task starts
+
+	appOf := func(name string) *appLog {
+		al, ok := apps[name]
+		if !ok {
+			al = &appLog{
+				app: name, arrivalUS: -1, admitUS: -1, endUS: -1,
+				execAdd:    map[string]int64{},
+				execKind:   map[string]string{},
+				execRem:    map[string]int64{},
+				stageStart: map[int]int64{},
+				medians:    map[int]int64{},
+			}
+			apps[name] = al
+			open[name] = map[taskKey]int64{}
+		}
+		return al
+	}
+
+	for _, e := range events {
+		if e.App == "" {
+			continue
+		}
+		switch e.Type {
+		case eventlog.ClusterArrive:
+			al := appOf(e.App)
+			al.arrivalUS = e.TS
+			al.name = e.Note
+		case eventlog.ClusterAdmit:
+			appOf(e.App).admitUS = e.TS
+		case eventlog.ClusterDelay:
+			appOf(e.App).delayed = true
+		case eventlog.ClusterFinish:
+			appOf(e.App).endUS = e.TS
+		case eventlog.ClusterFail:
+			al := appOf(e.App)
+			al.endUS = e.TS
+			al.failed = true
+		case eventlog.JobStart:
+			al := appOf(e.App)
+			if al.arrivalUS < 0 {
+				al.arrivalUS = e.TS
+			}
+		case eventlog.JobEnd:
+			al := appOf(e.App)
+			if e.TS > al.looseEndUS {
+				al.looseEndUS = e.TS
+			}
+		case eventlog.StageStart:
+			al := appOf(e.App)
+			if first, ok := al.stageStart[e.Stage]; !ok || e.TS < first {
+				al.stageStart[e.Stage] = e.TS
+			}
+		case eventlog.TaskStart:
+			appOf(e.App)
+			open[e.App][taskKey{e.Exec, e.Stage, e.Task}] = e.TS
+		case eventlog.TaskEnd, eventlog.TaskFailed:
+			al := appOf(e.App)
+			k := taskKey{e.Exec, e.Stage, e.Task}
+			start, ok := open[e.App][k]
+			if !ok {
+				continue
+			}
+			delete(open[e.App], k)
+			if e.TS <= start {
+				// Zero-duration occurrences carry no walkable interval
+				// and would stall the backward walk.
+				continue
+			}
+			al.tasks = append(al.tasks, taskIval{
+				startUS: start, endUS: e.TS,
+				stage: e.Stage, task: e.Task,
+				exec: e.Exec, kind: al.execKind[e.Exec],
+			})
+		case eventlog.ExecutorAdd:
+			al := appOf(e.App)
+			al.execAdd[e.Exec] = e.TS
+			if e.Kind != "" {
+				al.execKind[e.Exec] = e.Kind
+			}
+		case eventlog.ExecutorRemove:
+			appOf(e.App).execRem[e.Exec] = e.TS
+		case eventlog.ShuffleRead:
+			al := appOf(e.App)
+			al.reads = append(al.reads, ioPoint{tsUS: e.TS, task: e.Task, bytes: e.Bytes})
+		case eventlog.ShuffleWrite:
+			al := appOf(e.App)
+			al.writes = append(al.writes, ioPoint{tsUS: e.TS, task: e.Task, exec: e.Exec, bytes: e.Bytes})
+		}
+	}
+
+	for name, al := range apps {
+		// Resolve endpoints: cluster events win; otherwise fall back to
+		// the loose bounds observed from engine events and tasks.
+		for _, t := range al.tasks {
+			if t.endUS > al.looseEndUS {
+				al.looseEndUS = t.endUS
+			}
+			if al.arrivalUS < 0 {
+				al.arrivalUS = t.startUS
+			}
+		}
+		if al.endUS < 0 {
+			al.endUS = al.looseEndUS
+		}
+		if al.arrivalUS < 0 {
+			al.arrivalUS = 0
+		}
+		if al.admitUS < 0 || al.admitUS < al.arrivalUS {
+			al.admitUS = al.arrivalUS
+		}
+		if al.endUS < al.admitUS {
+			al.endUS = al.admitUS
+		}
+		// Apps with no tasks and no lifetime carry nothing to attribute.
+		if al.endUS == al.arrivalUS && len(al.tasks) == 0 {
+			delete(apps, name)
+			continue
+		}
+		computeMedians(al)
+	}
+	return apps
+}
+
+// computeMedians fills the per-stage median task durations, the
+// straggler baseline the walk carves tails against.
+func computeMedians(al *appLog) {
+	byStage := map[int][]int64{}
+	for _, t := range al.tasks {
+		byStage[t.stage] = append(byStage[t.stage], t.endUS-t.startUS)
+	}
+	for st, durs := range byStage {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		al.medians[st] = durs[len(durs)/2]
+	}
+}
+
+// attributeApp runs the backward critical-path walk over one app and
+// converts the path into blame segments that tile [arrival, end].
+func attributeApp(al *appLog) JobAttribution {
+	ja := JobAttribution{
+		App:        al.app,
+		Name:       al.name,
+		Tenant:     tenantOf(al.app),
+		ArrivalUS:  al.arrivalUS,
+		EndUS:      al.endUS,
+		MakespanUS: al.endUS - al.arrivalUS,
+		Failed:     al.failed,
+		BlameUS:    map[Cause]int64{},
+		SavedUS:    map[Cause]int64{},
+		Path:       []Segment{},
+	}
+
+	// Sort tasks by end time so the walk can binary-search the latest
+	// task finishing at or before the cursor.
+	tasks := append([]taskIval(nil), al.tasks...)
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].endUS != tasks[j].endUS {
+			return tasks[i].endUS < tasks[j].endUS
+		}
+		if tasks[i].startUS != tasks[j].startUS {
+			return tasks[i].startUS < tasks[j].startUS
+		}
+		if tasks[i].stage != tasks[j].stage {
+			return tasks[i].stage < tasks[j].stage
+		}
+		if tasks[i].task != tasks[j].task {
+			return tasks[i].task < tasks[j].task
+		}
+		return tasks[i].exec < tasks[j].exec
+	})
+
+	// Per-executor index (sorted by end, inherited from the sort above)
+	// for the same-executor predecessor lookup.
+	byExec := map[string][]*taskIval{}
+	for i := range tasks {
+		byExec[tasks[i].exec] = append(byExec[tasks[i].exec], &tasks[i])
+	}
+
+	// Backward walk: segs accumulates in reverse time order. Each
+	// iteration explains one slice of the timeline ending at the cursor,
+	// then asks what bound the critical task's *start* — the same
+	// executor finishing earlier work, the executor registering, or the
+	// stage becoming ready — and jumps to that constraint.
+	var segs []Segment
+	cursor := al.endUS
+	var forced *taskIval // causal predecessor chosen by the last step
+	first := true
+	for cursor > al.admitUS {
+		t := forced
+		forced = nil
+		if t == nil {
+			t = latestEndingAtOrBefore(tasks, cursor)
+			if t == nil {
+				detail := "sched"
+				if first {
+					detail = "driver"
+				}
+				segs = append(segs, Segment{
+					Cause: Compute, StartUS: al.admitUS, EndUS: cursor,
+					Stage: -1, Task: -1, Detail: detail,
+				})
+				cursor = al.admitUS
+				break
+			}
+			if t.endUS < cursor {
+				lo := max64(t.endUS, al.admitUS)
+				detail := "sched"
+				if first {
+					detail = "driver"
+				}
+				segs = append(segs, Segment{
+					Cause: Compute, StartUS: lo, EndUS: cursor,
+					Stage: -1, Task: -1, Detail: detail,
+				})
+				cursor = lo
+				if cursor <= al.admitUS {
+					break
+				}
+			}
+		}
+		first = false
+		segStart := max64(t.startUS, al.admitUS)
+		segs = append(segs, taskSegments(al, t, segStart, min64(t.endUS, cursor))...)
+		cursor = segStart
+		if cursor <= al.admitUS {
+			break
+		}
+
+		// The three candidate constraints on t's start time.
+		bindPrev := int64(-1)
+		samePrev := latestOnExec(byExec[t.exec], t.startUS)
+		if samePrev != nil {
+			bindPrev = samePrev.endUS
+		}
+		bindAdd := int64(-1)
+		if add, ok := al.execAdd[t.exec]; ok && add <= t.startUS {
+			bindAdd = add
+		}
+		bindStage := int64(-1)
+		if st, ok := al.stageStart[t.stage]; ok && st <= t.startUS {
+			bindStage = st
+		}
+
+		switch {
+		case samePrev != nil && bindPrev >= bindAdd && bindPrev >= bindStage:
+			// Executor busy: chain through the predecessor on the same
+			// executor; the sliver in between is dispatch overhead.
+			lo := max64(bindPrev, al.admitUS)
+			if lo < cursor {
+				segs = append(segs, Segment{
+					Cause: Compute, StartUS: lo, EndUS: cursor,
+					Stage: -1, Task: -1, Detail: "dispatch",
+				})
+			}
+			cursor = lo
+			forced = samePrev
+		case bindAdd > bindStage && bindAdd > al.admitUS:
+			// Executor registration bound the start: the wait from stage
+			// readiness (or admission) to registration is boot/cold-start
+			// blame on the executor's substrate.
+			if bindAdd < cursor {
+				segs = append(segs, Segment{
+					Cause: Compute, StartUS: bindAdd, EndUS: cursor,
+					Stage: -1, Task: -1, Detail: "dispatch",
+				})
+			}
+			hi := min64(bindAdd, cursor)
+			lo := max64(bindStage, al.admitUS)
+			if hi > lo {
+				cause := VMBoot
+				if al.execKind[t.exec] == "lambda" {
+					cause = LambdaColdStart
+				}
+				segs = append(segs, Segment{
+					Cause: cause, StartUS: lo, EndUS: hi, Stage: -1, Task: -1,
+					Exec: t.exec, Kind: al.execKind[t.exec], Detail: "executor wait",
+				})
+			}
+			cursor = lo
+		case bindStage > al.admitUS:
+			// Stage readiness bound the start: jump to the stage-start
+			// instant; whichever task ended just before it carries on.
+			if bindStage < cursor {
+				segs = append(segs, Segment{
+					Cause: Compute, StartUS: bindStage, EndUS: cursor,
+					Stage: -1, Task: -1, Detail: "dispatch",
+				})
+			}
+			cursor = bindStage
+		default:
+			// No constraint data inside the window; the next iteration's
+			// gap fill labels whatever precedes as scheduler overhead.
+		}
+	}
+	// The admission window.
+	if al.admitUS > al.arrivalUS {
+		cause := QueueWait
+		if al.delayed {
+			cause = AdmissionDelay
+		}
+		segs = append(segs, Segment{
+			Cause: cause, StartUS: al.arrivalUS, EndUS: al.admitUS,
+			Stage: -1, Task: -1,
+		})
+	}
+
+	// Reverse into time order and total up.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	for _, s := range segs {
+		if s.DurUS() <= 0 {
+			continue
+		}
+		ja.Path = append(ja.Path, s)
+		ja.BlameUS[s.Cause] += s.DurUS()
+	}
+	// Every blame cause appears in the table, zeros included, so diffs
+	// and goldens have a fixed key set.
+	for _, c := range Causes {
+		if c.Savings() {
+			continue
+		}
+		if _, ok := ja.BlameUS[c]; !ok {
+			ja.BlameUS[c] = 0
+		}
+	}
+	attachWarmSavings(al, &ja)
+	attachDollars(al, &ja)
+	if len(ja.SavedUS) == 0 {
+		ja.SavedUS = nil
+	}
+	return ja
+}
+
+// latestEndingAtOrBefore returns the task with the greatest end <=
+// cursor (nil when none), preferring — among equal ends — the latest
+// start, so the walk consumes the least timeline per step and gaps stay
+// attributable.
+func latestEndingAtOrBefore(tasks []taskIval, cursor int64) *taskIval {
+	lo, hi := 0, len(tasks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tasks[mid].endUS <= cursor {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	best := lo - 1
+	for i := best; i >= 0 && tasks[i].endUS == tasks[best].endUS; i-- {
+		if tasks[i].startUS > tasks[best].startUS {
+			best = i
+		}
+	}
+	return &tasks[best]
+}
+
+// latestOnExec returns the latest task in list (sorted by end) ending at
+// or before ts — the same-executor predecessor candidate.
+func latestOnExec(list []*taskIval, ts int64) *taskIval {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].endUS <= ts {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return list[lo-1]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// taskSegments carves one critical task's window [s, e] into
+// straggler-tail, modeled shuffle I/O and compute. Returned in reverse
+// time order (the walk accumulates backward).
+func taskSegments(al *appLog, t *taskIval, s, e int64) []Segment {
+	d := e - s
+	if d <= 0 {
+		return nil
+	}
+	var tail int64
+	if med := al.medians[t.stage]; med > 0 {
+		dur := t.endUS - t.startUS
+		cut := int64(eventlog.DefaultStragglerFactor * float64(med))
+		if dur >= cut && dur > med {
+			tail = dur - med
+			if tail > d {
+				tail = d
+			}
+		}
+	}
+	fetch := bytesToUS(taskBytes(al.reads, t, false))
+	if fetch > d-tail {
+		fetch = d - tail
+	}
+	write := bytesToUS(taskBytes(al.writes, t, true))
+	if write > d-tail-fetch {
+		write = d - tail - fetch
+	}
+	compute := d - tail - fetch - write
+
+	// Time order within the window: fetch, compute, write, tail.
+	at := s
+	var fwd []Segment
+	add := func(cause Cause, dur int64) {
+		if dur <= 0 {
+			return
+		}
+		fwd = append(fwd, Segment{
+			Cause: cause, StartUS: at, EndUS: at + dur,
+			Stage: t.stage, Task: t.task, Exec: t.exec, Kind: t.kind,
+		})
+		at += dur
+	}
+	add(ShuffleFetch, fetch)
+	add(Compute, compute)
+	add(ShuffleWrite, write)
+	add(StragglerTail, tail)
+
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
+	}
+	return fwd
+}
+
+// taskBytes sums the shuffle bytes attributable to task t: instants
+// inside the task's window matching its reduce partition (reads) or its
+// executor (writes).
+func taskBytes(points []ioPoint, t *taskIval, byExec bool) int64 {
+	var sum int64
+	for _, p := range points {
+		if p.tsUS < t.startUS || p.tsUS > t.endUS {
+			continue
+		}
+		if byExec {
+			if p.exec == t.exec {
+				sum += p.bytes
+			}
+		} else if p.task == t.task {
+			sum += p.bytes
+		}
+	}
+	return sum
+}
+
+// attachWarmSavings credits warm_hit_saved for every critical-path
+// executor wait served by a warm-pool environment (executor IDs carry
+// the pool's -wNN suffix): the counterfactual is the nominal cold start
+// the warm hit avoided.
+func attachWarmSavings(al *appLog, ja *JobAttribution) {
+	seen := map[string]bool{}
+	for _, seg := range ja.Path {
+		if seg.Cause != LambdaColdStart || seg.Exec == "" || seen[seg.Exec] {
+			continue
+		}
+		if !isWarmExec(seg.Exec) {
+			continue
+		}
+		seen[seg.Exec] = true
+		saved := int64(NominalColdStartUS) - seg.DurUS()
+		if saved > 0 {
+			ja.SavedUS[WarmHitSaved] += saved
+		}
+	}
+}
+
+// isWarmExec recognises the cluster backend's warm-pool executor naming
+// (jNNN-wNN); cold/on-demand Lambda executors use -lNN.
+func isWarmExec(exec string) bool {
+	i := strings.LastIndex(exec, "-w")
+	if i < 0 || i+2 >= len(exec) {
+		return false
+	}
+	for _, r := range exec[i+2:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// attachDollars reconstructs the job's spend from executor lifetimes in
+// the log at nominal rates and splits it across causes proportionally
+// to blame time.
+func attachDollars(al *appLog, ja *JobAttribution) {
+	var total float64
+	for exec, addUS := range al.execAdd {
+		remUS, ok := al.execRem[exec]
+		if !ok || remUS < addUS {
+			remUS = al.endUS
+		}
+		life := float64(remUS-addUS) / 1e6
+		if life <= 0 {
+			continue
+		}
+		if al.execKind[exec] == "lambda" {
+			total += life * lambdaUSDPerSecond()
+		} else {
+			total += life * vmUSDPerCoreSecond()
+		}
+	}
+	if total <= 0 || ja.MakespanUS <= 0 {
+		return
+	}
+	ja.CostUSD = map[Cause]float64{}
+	for _, c := range Causes {
+		if c.Savings() {
+			continue
+		}
+		ja.CostUSD[c] = round6(total * float64(ja.BlameUS[c]) / float64(ja.MakespanUS))
+	}
+}
+
+func tenantOf(app string) string {
+	if i := strings.IndexByte(app, '-'); i > 0 {
+		return app[:i]
+	}
+	return app
+}

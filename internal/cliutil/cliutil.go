@@ -9,6 +9,7 @@ import (
 	"os"
 	"strings"
 
+	"splitserve/internal/attrib"
 	"splitserve/internal/eventlog"
 )
 
@@ -23,6 +24,7 @@ const ReportUsage = "emit a machine-readable report: json | prom"
 const (
 	EventLogUsage = "write the structured event log as JSONL to this file (- = stdout); replay with splitserve-history"
 	TraceUsage    = "write a Chrome trace-event JSON timeline to this file (- = stdout); open in chrome://tracing or ui.perfetto.dev"
+	AttribUsage   = "write the causal attribution report (splitserve-attrib/v1 JSON) to this file (- = stdout); diff with splitserve-history -diff"
 )
 
 // ValidateReport checks a -report value against ReportFormats ("" = off).
@@ -74,6 +76,20 @@ func WriteTrace(path string, events []eventlog.Event) error {
 		return nil
 	}
 	data, err := eventlog.ChromeTrace(events)
+	if err != nil {
+		return err
+	}
+	return writeOut(path, data)
+}
+
+// WriteAttrib runs the causal attribution engine over an event stream
+// and writes the splitserve-attrib/v1 report to path ("" = off,
+// "-" = stdout).
+func WriteAttrib(path string, events []eventlog.Event) error {
+	if path == "" {
+		return nil
+	}
+	data, err := attrib.Analyze(events).JSON()
 	if err != nil {
 		return err
 	}

@@ -15,7 +15,15 @@ const (
 	PerfUsage       = "write a host-side self-profiling snapshot (perfstat JSON) to this file (- = stdout); wall-clock data, never affects simulation output"
 	CPUProfileUsage = "write a pprof CPU profile to this file"
 	MemProfileUsage = "write a pprof heap profile to this file"
+	CommitUsage     = "git commit hash stamped into perf outputs for trajectory provenance (default: $SPLITSERVE_COMMIT); comparisons ignore it"
 )
+
+// CommitFromEnv is the -commit default: the SPLITSERVE_COMMIT
+// environment variable, so CI can stamp every perf artifact without
+// threading the hash through each invocation.
+func CommitFromEnv() string {
+	return os.Getenv("SPLITSERVE_COMMIT")
+}
 
 // PerfFlags bundles the self-profiling flags (-perf, -cpuprofile,
 // -memprofile) shared by all splitserve-* commands. Register on a FlagSet
@@ -32,12 +40,18 @@ type PerfFlags struct {
 	Perf       string
 	CPUProfile string
 	MemProfile string
+	// Commit is the -commit provenance stamp (default $SPLITSERVE_COMMIT);
+	// Label is set programmatically by the command (its config label) —
+	// both land in the snapshot, neither affects any comparison.
+	Commit string
+	Label  string
 
 	cpuFile *os.File
 }
 
-// RegisterPerfFlags registers -perf, -cpuprofile and -memprofile on fs
-// (nil = the default flag.CommandLine set) and returns the bundle.
+// RegisterPerfFlags registers -perf, -cpuprofile, -memprofile and
+// -commit on fs (nil = the default flag.CommandLine set) and returns
+// the bundle.
 func RegisterPerfFlags(fs *flag.FlagSet) *PerfFlags {
 	if fs == nil {
 		fs = flag.CommandLine
@@ -46,6 +60,7 @@ func RegisterPerfFlags(fs *flag.FlagSet) *PerfFlags {
 	fs.StringVar(&p.Perf, "perf", "", PerfUsage)
 	fs.StringVar(&p.CPUProfile, "cpuprofile", "", CPUProfileUsage)
 	fs.StringVar(&p.MemProfile, "memprofile", "", MemProfileUsage)
+	fs.StringVar(&p.Commit, "commit", CommitFromEnv(), CommitUsage)
 	return p
 }
 
@@ -116,7 +131,10 @@ func (p *PerfFlags) WriteSnapshot(prof *perfstat.Collector) error {
 	if p.Perf == "" || prof == nil {
 		return nil
 	}
-	buf, err := prof.Snapshot().JSON()
+	snap := prof.Snapshot()
+	snap.Commit = p.Commit
+	snap.Label = p.Label
+	buf, err := snap.JSON()
 	if err != nil {
 		return err
 	}

@@ -137,6 +137,12 @@ type Config struct {
 	// (512 MB cap) of blocks they write or fetch, so repeat shuffle
 	// reads skip the network. Requires WarmPool > 0 to have any effect.
 	TmpCache bool
+	// ColdStarts models a cold ambient Lambda fleet: the provider begins
+	// with zero pre-warmed environments, so first invocations pay the
+	// full cold-start latency (warm reuse still kicks in as invocations
+	// finish). Default false keeps the historical always-warm ambient
+	// fleet; turn it on to make the warm pool's latency value visible.
+	ColdStarts bool
 	// Alloc labels how per-job core demands were chosen ("fixed", or the
 	// cost-manager policy behind -cores auto); it is echoed in the
 	// report so saved reports are self-describing.
@@ -358,7 +364,11 @@ func New(cfg Config) (*Scheduler, error) {
 	net := netsim.New(clock)
 	hub := telemetry.New(clock)
 	bus := eventlog.NewBus(simclock.Epoch)
-	provider := cloud.NewProvider(clock, net, simrand.New(cfg.Seed+1), cloud.DefaultOptions())
+	provOpts := cloud.DefaultOptions()
+	if cfg.ColdStarts {
+		provOpts.WarmPoolSize = 0
+	}
+	provider := cloud.NewProvider(clock, net, simrand.New(cfg.Seed+1), provOpts)
 	provider.SetTelemetry(hub)
 	provider.SetEventLog(bus)
 

@@ -62,7 +62,17 @@ type Analysis struct {
 	EndUS     int64
 	Stages    []StageStat
 	Executors []ExecStat
+	// TaskCount is the number of finished task occurrences analysed.
+	// Zero marks the typed "no tasks" result: an empty log, or one
+	// carrying only cluster/control-plane events — quantiles,
+	// stragglers and the backend split are then vacuous, and String()
+	// says so instead of rendering empty tables.
+	TaskCount int
 }
+
+// NoTasks reports whether the log contained no finished tasks — the
+// typed result callers check before reading task-level statistics.
+func (a *Analysis) NoTasks() bool { return a.TaskCount == 0 }
 
 // Analyze runs the per-stage analytics pass: task-duration quantiles,
 // straggler detection by the median-multiple rule (factor <= 0 selects
@@ -147,6 +157,7 @@ func Analyze(events []Event, factor float64) *Analysis {
 			}
 			s := stageOf(e.App, e.Stage)
 			s.Tasks = append(s.Tasks, ts)
+			a.TaskCount++
 			x := execOf(e.App, e.Exec, st.Kind)
 			x.BusyUS += ts.DurUS
 			x.Tasks++
@@ -242,6 +253,11 @@ func quantileUS(sorted []int64, q float64) int64 {
 // over the run).
 func (a *Analysis) String() string {
 	var b strings.Builder
+	if a.NoTasks() {
+		fmt.Fprintf(&b, "no tasks in this log (%d stages, %d executors) — task quantiles, stragglers and the backend split are empty\n",
+			len(a.Stages), len(a.Executors))
+		return b.String()
+	}
 
 	fmt.Fprintf(&b, "== stage summary (straggler factor %.2fx median) ==\n", a.Factor)
 	fmt.Fprintf(&b, "%-24s %5s %6s %9s %9s %9s %9s %9s %4s %4s %7s\n",

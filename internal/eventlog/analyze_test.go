@@ -1,0 +1,97 @@
+package eventlog
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAnalyzeEmptyLog: an empty stream yields the typed "no tasks"
+// result with zeroed aggregates — no panic, no NaN, a clear message.
+func TestAnalyzeEmptyLog(t *testing.T) {
+	a := Analyze(nil, 0)
+	if !a.NoTasks() {
+		t.Fatal("empty log not flagged as NoTasks")
+	}
+	if a.EndUS != 0 || len(a.Stages) != 0 || len(a.Executors) != 0 {
+		t.Fatalf("empty log analysis carries data: %+v", a)
+	}
+	if s := a.String(); !strings.Contains(s, "no tasks") {
+		t.Fatalf("String() does not state the no-tasks result:\n%s", s)
+	}
+}
+
+// TestAnalyzeClusterOnlyLog: a log with only cluster/control-plane and
+// executor events (jobs shed before running any task) must produce a
+// NoTasks analysis with finite executor utilization.
+func TestAnalyzeClusterOnlyLog(t *testing.T) {
+	b := NewBus(testOrigin)
+	emit := func(d time.Duration, e Event) { b.Emit(at(d), e) }
+
+	e := Ev(ClusterArrive)
+	e.App, e.Note, e.Cores = "j000-shed", "sparkpi", 8
+	emit(0, e)
+	e = Ev(ClusterAdmit)
+	e.App, e.Cores = "j000-shed", 8
+	emit(time.Second, e)
+	e = Ev(ExecutorAdd)
+	e.App, e.Exec, e.Kind, e.Cores = "j000-shed", "j000-v00", "vm", 1
+	emit(2*time.Second, e)
+	e = Ev(ExecutorRemove)
+	e.App, e.Exec = "j000-shed", "j000-v00"
+	emit(3*time.Second, e)
+	e = Ev(ClusterFail)
+	e.App, e.Note = "j000-shed", "sparkpi"
+	emit(3*time.Second, e)
+
+	a := Analyze(b.Events(), 0)
+	if !a.NoTasks() {
+		t.Fatal("cluster-only log not flagged as NoTasks")
+	}
+	if len(a.Executors) != 1 {
+		t.Fatalf("got %d executors, want 1", len(a.Executors))
+	}
+	x := a.Executors[0]
+	if x.Tasks != 0 || x.Util != 0 || math.IsNaN(x.Util) || math.IsInf(x.Util, 0) {
+		t.Fatalf("idle executor stats not zeroed: %+v", x)
+	}
+	if s := a.String(); !strings.Contains(s, "no tasks") || !strings.Contains(s, "1 executors") {
+		t.Fatalf("String() does not summarise the cluster-only log:\n%s", s)
+	}
+}
+
+// TestAnalyzeZeroDurationTask: an instantaneous task must not divide by
+// zero anywhere (median 0 disables the straggler rule, utilization
+// stays finite).
+func TestAnalyzeZeroDurationTask(t *testing.T) {
+	b := NewBus(testOrigin)
+	emit := func(d time.Duration, e Event) { b.Emit(at(d), e) }
+
+	e := Ev(ExecutorAdd)
+	e.App, e.Exec, e.Kind, e.Cores = "app-1", "vm-0", "vm", 1
+	emit(0, e)
+	e = Ev(TaskStart)
+	e.App, e.Exec, e.Stage, e.Task = "app-1", "vm-0", 0, 0
+	emit(time.Second, e)
+	e = Ev(TaskEnd)
+	e.App, e.Exec, e.Stage, e.Task = "app-1", "vm-0", 0, 0
+	emit(time.Second, e)
+
+	a := Analyze(b.Events(), 0)
+	if a.NoTasks() || a.TaskCount != 1 {
+		t.Fatalf("TaskCount = %d, want 1", a.TaskCount)
+	}
+	s := a.Stages[0]
+	if s.MedianUS != 0 || len(s.Stragglers) != 0 {
+		t.Fatalf("zero-duration stage misanalysed: %+v", s)
+	}
+	for _, x := range a.Executors {
+		if math.IsNaN(x.Util) || math.IsInf(x.Util, 0) {
+			t.Fatalf("executor utilization not finite: %+v", x)
+		}
+	}
+	if s := a.String(); !strings.Contains(s, "stage summary") {
+		t.Fatalf("String() skipped tables for a log that has a task:\n%s", s)
+	}
+}

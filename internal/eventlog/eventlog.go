@@ -92,22 +92,41 @@ const (
 	WarmpoolResize Type = "warmpool_resize"
 )
 
-// Valid reports whether t is a known event type.
-func (t Type) Valid() bool {
-	switch t {
-	case JobStart, JobEnd, StageStart, StageEnd, TaskStart, TaskEnd,
-		TaskFailed, TaskSpeculated, StageResubmitted,
-		ExecutorAdd, ExecutorDrain, ExecutorRemove, Segue,
-		ShuffleWrite, ShuffleRead, HDFSWrite, HDFSRead,
-		VMRequest, VMReady, LambdaInvoke, LambdaReady, LambdaRelease,
-		CoreLease, CoreRelease,
-		ClusterArrive, ClusterAdmit, ClusterFinish, ClusterFail,
-		SLOViolate, SegueCoreGrant, AutoscaleOrder,
-		VMReleaseIdle, ClusterShed, ClusterDelay, CostPick,
-		LambdaWarmHit, TmpCacheHit, TmpCacheEvict, WarmpoolResize:
-		return true
+// allTypes is the single authoritative enumeration of the closed
+// vocabulary. A new constant must be added here (and nowhere else) to
+// become emittable; Valid and AllTypes both derive from this list, and
+// the trace-exporter vocabulary test walks it so an unmapped newcomer
+// fails loudly instead of silently dropping from rendered traces.
+var allTypes = []Type{
+	JobStart, JobEnd, StageStart, StageEnd, TaskStart, TaskEnd,
+	TaskFailed, TaskSpeculated, StageResubmitted,
+	ExecutorAdd, ExecutorDrain, ExecutorRemove, Segue,
+	ShuffleWrite, ShuffleRead, HDFSWrite, HDFSRead,
+	VMRequest, VMReady, LambdaInvoke, LambdaReady, LambdaRelease,
+	CoreLease, CoreRelease,
+	ClusterArrive, ClusterAdmit, ClusterFinish, ClusterFail,
+	SLOViolate, SegueCoreGrant, AutoscaleOrder,
+	VMReleaseIdle, ClusterShed, ClusterDelay, CostPick,
+	LambdaWarmHit, TmpCacheHit, TmpCacheEvict, WarmpoolResize,
+}
+
+var validTypes = func() map[Type]bool {
+	m := make(map[Type]bool, len(allTypes))
+	for _, t := range allTypes {
+		m[t] = true
 	}
-	return false
+	return m
+}()
+
+// Valid reports whether t is a known event type.
+func (t Type) Valid() bool { return validTypes[t] }
+
+// AllTypes returns the full closed vocabulary in declaration order. The
+// slice is a copy; callers may reorder it freely.
+func AllTypes() []Type {
+	out := make([]Type, len(allTypes))
+	copy(out, allTypes)
+	return out
 }
 
 // Event is one log entry. TS is the virtual-time offset from the bus

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"splitserve/internal/attrib"
 	"splitserve/internal/cluster"
 	"splitserve/internal/workloads"
 	"splitserve/internal/workloads/shufflereuse"
@@ -24,10 +25,15 @@ const (
 	WarmModeWarm = "warm+tmp"
 )
 
-// WarmPoolRun is one substrate configuration of a sweep cell.
+// WarmPoolRun is one substrate configuration of a sweep cell. Attrib is
+// the causal attribution of the run's event log (observability layer 4):
+// the per-cause blame decomposition that names what the substrate choice
+// actually bought — e.g. the cold run's critical path carries
+// lambda_cold_start time the warm run converts to warm_hit_saved.
 type WarmPoolRun struct {
 	Mode   string
 	Report *cluster.Report
+	Attrib *attrib.Report
 }
 
 // WarmPoolCell is one (arrival gap × shuffle reuse) point of the sweep:
@@ -233,7 +239,11 @@ func WarmPoolComparison(seed uint64, cfg WarmPoolSweepConfig) ([]WarmPoolCell, e
 				if err != nil {
 					return nil, fmt.Errorf("warmpool sweep %s gap=%s reuse=%d: %w", mode, gap, reuse, err)
 				}
-				cell.Runs = append(cell.Runs, WarmPoolRun{Mode: mode, Report: rep})
+				cell.Runs = append(cell.Runs, WarmPoolRun{
+					Mode:   mode,
+					Report: rep,
+					Attrib: attrib.Analyze(s.Events().Events()),
+				})
 			}
 			cells = append(cells, cell)
 		}
@@ -249,18 +259,24 @@ func FormatWarmPoolComparison(cells []WarmPoolCell) string {
 	var crossed []string
 	for _, cell := range cells {
 		fmt.Fprintf(&b, "arrival gap %s, shuffle reads ×%d:\n", cell.Gap, cell.Reuse)
-		fmt.Fprintf(&b, "  %-14s %6s %9s %9s %10s %9s %9s %9s\n",
-			"mode", "attain", "makespan", "cost", "lambda", "la-idle", "warm-hit", "tmp-hit")
+		fmt.Fprintf(&b, "  %-14s %6s %9s %9s %10s %9s %9s %9s %16s\n",
+			"mode", "attain", "makespan", "cost", "lambda", "la-idle", "warm-hit", "tmp-hit", "top cause")
 		for _, run := range cell.Runs {
 			r := run.Report
 			star := " "
 			if run.Mode == WarmModeWarm && cell.WarmWins() {
 				star = "*"
 			}
-			fmt.Fprintf(&b, " %s%-14s %5.1f%% %9s %8.2f$ %9.4f$ %8.4f$ %9d %9d\n",
+			top := "-"
+			if run.Attrib != nil {
+				if c, _ := run.Attrib.Totals.Dominant(); c != "" {
+					top = string(c)
+				}
+			}
+			fmt.Fprintf(&b, " %s%-14s %5.1f%% %9s %8.2f$ %9.4f$ %8.4f$ %9d %9d %16s\n",
 				star, run.Mode, 100*r.SLOAttainment,
 				(time.Duration(r.MakespanUS) * time.Microsecond).Round(time.Second),
-				r.TotalUSD, r.LambdaUSD, r.LambdaIdleUSD, r.WarmHits, r.TmpCacheHits)
+				r.TotalUSD, r.LambdaUSD, r.LambdaIdleUSD, r.WarmHits, r.TmpCacheHits, top)
 		}
 		if cell.WarmWins() {
 			crossed = append(crossed, fmt.Sprintf("gap<=%s,reuse>=%d", cell.Gap, cell.Reuse))

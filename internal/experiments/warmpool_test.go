@@ -65,6 +65,26 @@ func TestWarmPoolCrossover(t *testing.T) {
 		t.Errorf("vm/cold runs report LambdaIdleUSD %v/%v, want 0",
 			vm.Report.LambdaIdleUSD, cold.Report.LambdaIdleUSD)
 	}
+
+	// Every run carries a causal attribution whose aggregate blame sums to
+	// the aggregate makespan (the layer-4 invariant, here over real sweep
+	// logs rather than synthetic fixtures).
+	for _, cell := range cells {
+		for _, run := range cell.Runs {
+			a := run.Attrib
+			if a == nil || a.Totals.Jobs == 0 {
+				t.Fatalf("%s gap=%s: run has no attribution", run.Mode, cell.Gap)
+			}
+			var sum int64
+			for _, v := range a.Totals.BlameUS {
+				sum += v
+			}
+			if sum != a.Totals.MakespanUS {
+				t.Errorf("%s gap=%s: blame sum %d != makespan %d",
+					run.Mode, cell.Gap, sum, a.Totals.MakespanUS)
+			}
+		}
+	}
 }
 
 // TestWarmPoolComparisonDeterministic: same seed → byte-identical tables.

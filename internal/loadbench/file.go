@@ -39,6 +39,10 @@ type Point struct {
 type File struct {
 	Schema string `json:"schema"`
 	Label  string `json:"label"`
+	// Commit is the git commit hash that produced this trajectory point
+	// (-commit flag, or the SPLITSERVE_COMMIT environment variable).
+	// Compare ignores it — provenance, not a metric.
+	Commit string `json:"commit,omitempty"`
 	// Deterministic is always false: these are wall-clock measurements,
 	// the same marker perfstat snapshots carry.
 	Deterministic bool    `json:"deterministic"`

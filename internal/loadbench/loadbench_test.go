@@ -93,6 +93,34 @@ func TestCompareIdenticalFilesIsZeroDelta(t *testing.T) {
 	}
 }
 
+// TestCompareIgnoresCommitStamp: the commit hash is provenance, not a
+// metric — two otherwise-identical files from different commits must
+// diff to zero, and the stamp must survive a JSON round trip.
+func TestCompareIgnoresCommitStamp(t *testing.T) {
+	old := testFile(50, 10000, 25, 1500, 2, 90)
+	old.Commit = "aaaaaaa"
+	new := testFile(50, 10000, 25, 1500, 2, 90)
+	new.Commit = "bbbbbbb"
+	res := Compare(old, new, 0.10)
+	if res.Regressed || res.Worst != 0 {
+		t.Fatalf("commit stamp leaked into the comparison: %s", res)
+	}
+	buf, err := old.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"commit": "aaaaaaa"`) {
+		t.Fatalf("BENCH JSON missing the commit stamp:\n%s", buf)
+	}
+	back, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Commit != "aaaaaaa" {
+		t.Fatalf("commit stamp lost in round trip: %q", back.Commit)
+	}
+}
+
 func TestCompareFlagsThroughputDrop(t *testing.T) {
 	old := testFile(50, 10000, 25, 1500, 2, 90)
 	slower := testFile(40, 8000, 25, 1500, 2, 90) // 20% fewer jobs/sec

@@ -274,6 +274,9 @@ func subsystemOf(t eventlog.Type) string {
 		return "cluster"
 	case eventlog.CostPick:
 		return "costmgr"
+	case eventlog.LambdaWarmHit, eventlog.TmpCacheHit, eventlog.TmpCacheEvict,
+		eventlog.WarmpoolResize:
+		return "warmpool"
 	default:
 		return "other"
 	}

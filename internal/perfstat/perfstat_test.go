@@ -97,7 +97,10 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	c.AttachClock(clock)
 	clock.After(0, func() {})
 	clock.Run()
-	buf, err := c.Snapshot().JSON()
+	snap := c.Snapshot()
+	snap.Commit = "deadbee"
+	snap.Label = "roundtrip"
+	buf, err := snap.JSON()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +113,9 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 	if back.EventsFired != 1 {
 		t.Fatalf("round-trip events = %d, want 1", back.EventsFired)
+	}
+	if back.Commit != "deadbee" || back.Label != "roundtrip" {
+		t.Fatalf("provenance stamp lost in round trip: commit=%q label=%q", back.Commit, back.Label)
 	}
 	if _, err := ParseSnapshot([]byte(`{"schema":"bogus/v9"}`)); err == nil {
 		t.Fatal("ParseSnapshot accepted an unknown schema")

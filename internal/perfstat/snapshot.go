@@ -16,9 +16,15 @@ const SchemaV1 = "splitserve-perfstat/v1"
 // wall-clock data: Deterministic is always false, distinguishing it from
 // the byte-identical virtual-time reports and event logs.
 type Snapshot struct {
-	Schema        string  `json:"schema"`
-	Deterministic bool    `json:"deterministic"`
-	WallSeconds   float64 `json:"wall_seconds"`
+	Schema        string `json:"schema"`
+	Deterministic bool   `json:"deterministic"`
+	// Commit and Label tie the snapshot to a point in the perf
+	// trajectory: the git commit that produced it (-commit flag, or the
+	// SPLITSERVE_COMMIT environment variable) and the command's config
+	// label. Comparisons ignore both — they are provenance, not metrics.
+	Commit      string  `json:"commit,omitempty"`
+	Label       string  `json:"label,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
 
 	// EventsFired counts simclock events fired across all attached
 	// clocks; EventsPerSec divides by wall time — the simulator's raw

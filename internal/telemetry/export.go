@@ -39,8 +39,8 @@ type GaugeSnapshot struct {
 
 // HistogramSnapshot is one histogram's exported state. Buckets are
 // cumulative counts per upper bound, Prometheus-style; the final
-// implicit +Inf bucket equals Count. P50/P95/P99 are quantile estimates
-// by linear interpolation within buckets (see Quantile).
+// implicit +Inf bucket equals Count. P50/P95/P99/P999 are quantile
+// estimates by linear interpolation within buckets (see Quantile).
 type HistogramSnapshot struct {
 	Name    string            `json:"name"`
 	Labels  map[string]string `json:"labels,omitempty"`
@@ -51,6 +51,7 @@ type HistogramSnapshot struct {
 	P50     float64           `json:"p50"`
 	P95     float64           `json:"p95"`
 	P99     float64           `json:"p99"`
+	P999    float64           `json:"p999"`
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) the way Prometheus'
@@ -93,11 +94,12 @@ func (hs HistogramSnapshot) Quantile(q float64) float64 {
 	return hs.Bounds[len(hs.Bounds)-1]
 }
 
-// fillQuantiles populates the snapshot's P50/P95/P99 estimates.
+// fillQuantiles populates the snapshot's P50/P95/P99/P999 estimates.
 func (hs *HistogramSnapshot) fillQuantiles() {
 	hs.P50 = hs.Quantile(0.50)
 	hs.P95 = hs.Quantile(0.95)
 	hs.P99 = hs.Quantile(0.99)
+	hs.P999 = hs.Quantile(0.999)
 }
 
 // SpanSnapshot is one span's exported state. Start/End are microsecond
@@ -301,6 +303,9 @@ func (h *Hub) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		if err := writeProm(w, hs.Name, hs.Labels, "_p99", hs.P99); err != nil {
+			return err
+		}
+		if err := writeProm(w, hs.Name, hs.Labels, "_p999", hs.P999); err != nil {
 			return err
 		}
 	}

@@ -93,7 +93,7 @@ func TestQuantilesInReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"p50"`, `"p95"`, `"p99"`} {
+	for _, want := range []string{`"p50"`, `"p95"`, `"p99"`, `"p999"`} {
 		if !bytes.Contains(data, []byte(want)) {
 			t.Errorf("JSON report missing %s", want)
 		}
@@ -102,7 +102,7 @@ func TestQuantilesInReports(t *testing.T) {
 	if err := hub.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"latency_q_seconds_p50 ", "latency_q_seconds_p95 ", "latency_q_seconds_p99 "} {
+	for _, want := range []string{"latency_q_seconds_p50 ", "latency_q_seconds_p95 ", "latency_q_seconds_p99 ", "latency_q_seconds_p999 "} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("prometheus output missing %q:\n%s", want, buf.String())
 		}
