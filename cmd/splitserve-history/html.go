@@ -162,10 +162,10 @@ or point <code>-perfin</code> at a snapshot saved by any command's <code>-perf F
 </table>
 `, s.WallSeconds, s.EventsFired, s.EventsPerSec, s.AllocsPerEvent, s.BytesPerEvent, s.Yields)
 
-	fmt.Fprintf(&b, `<h2>event heap</h2>
+	fmt.Fprintf(&b, `<h2>event queue</h2>
 <table>
 <tr><th>counter</th><th>value</th></tr>
-<tr><td>heap high water</td><td>%d</td></tr>
+<tr><td>queue high water</td><td>%d</td></tr>
 <tr><td>timers cancelled</td><td>%d</td></tr>
 <tr><td>ghost entries live</td><td>%d</td></tr>
 <tr><td>compactions</td><td>%d</td></tr>

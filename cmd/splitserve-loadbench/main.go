@@ -1,6 +1,6 @@
 // Command splitserve-loadbench measures the simulator's own hot paths —
-// the cluster scheduler, the engine yield protocol, the simclock event
-// heap — by pushing streams of tiny jobs through the real machinery and
+// the cluster scheduler, the engine yield protocol, the simclock timer
+// wheel — by pushing streams of tiny jobs through the real machinery and
 // writing a stable-schema BENCH_<label>.json trajectory point:
 //
 //	splitserve-loadbench                          # 100/1k/10k jobs -> BENCH_dev.json

@@ -40,6 +40,12 @@ const (
 	dispatchCost  = 4 * time.Millisecond
 )
 
+// newClock builds the simulation clock. A package variable so the
+// cross-implementation determinism tests can swap in
+// simclock.NewHeapBacked and assert that the timer wheel produces
+// byte-identical reports and event logs.
+var newClock = simclock.New
+
 // Strategy re-exports the shortfall strategies shared with the fluid day
 // model, so both layers speak the same vocabulary.
 type Strategy = autoscale.Strategy
@@ -172,18 +178,26 @@ const (
 )
 
 // coroutine is one job's workload goroutine. Exactly one goroutine — the
-// scheduler's Run loop or one coroutine — executes at a time; control is
-// handed off synchronously through the two unbuffered channels, so runs
-// stay deterministic (and race-free: every handoff is a happens-before
-// edge).
+// scheduler's Run loop or one coroutine — executes at a time: a single
+// execution token is chained from workload to workload through the
+// per-job wake channels (the run-queue) and returns to the scheduler via
+// schedToken only when the batch is drained, so resuming a batch of N
+// workloads costs N+1 channel operations instead of 2N. Every transfer is
+// a channel send/receive, so the token chain is also the happens-before
+// chain that keeps runs deterministic and race-free.
 type coroutine struct {
-	// resume wakes the parked workload; false aborts it as stalled.
-	resume chan bool
-	// parked signals the scheduler that the workload either blocked in
-	// engine.RunJob (ready reports whether it can continue) or finished.
-	parked   chan struct{}
-	ready    func() bool
-	finished bool
+	// wake hands the execution token to the parked workload; false aborts
+	// it as stalled.
+	wake chan bool
+	// ready reports whether the parked workload's engine job completed;
+	// set before every park. Ready probes are monotone (an engine job
+	// never un-completes), which is what makes the batched drain resume
+	// workloads in exactly the order the old scan-per-job loop did.
+	ready func() bool
+	// resumedAt is the host instant the workload last received the token
+	// (set only when profiling): the next park or finish observes the
+	// burst as one handoff.
+	resumedAt time.Time
 }
 
 type job struct {
@@ -210,6 +224,13 @@ type job struct {
 
 	report *workloads.Report
 	err    error
+
+	// workDist and execHosts are captured from the engine when the job
+	// settles, so finish can release the engine itself (the dominant
+	// per-job retention at 10k jobs) while reports and invariant checks
+	// keep what they need.
+	workDist  map[engine.ExecKind]engine.WorkStats
+	execHosts map[string]string // VM executor ID -> host VM ID
 
 	// delayed records that deadline admission held the job back at least
 	// once; shedReason is set when admission rejected it outright.
@@ -287,9 +308,24 @@ type Scheduler struct {
 
 	baseVMs  []*cloud.VM
 	procured []*cloud.VM
+	// active is the ID-ordered list of arrived, unsettled jobs — the
+	// scheduling pass's working set, compacted lazily so a pass costs
+	// O(active), not O(total jobs). ID order matches the former
+	// iterate-all-jobs order, which admission and policy grants depend on.
+	active []*job
+	// settled counts jobs that reached a terminal phase (done, failed,
+	// shed), so the run loop's exit test is O(1).
+	settled int
 	// parkedJobs are running jobs whose workload goroutine is blocked in
-	// engine.RunJob waiting for its engine job to complete.
+	// engine.RunJob waiting for its engine job to complete. Workloads
+	// append themselves while holding the execution token.
 	parkedJobs []*job
+	// runq is the batch of parked jobs whose engine jobs completed,
+	// resumed by chaining the execution token job-to-job (see coroutine).
+	runq []*job
+	// schedToken returns the execution token to the scheduler goroutine
+	// once a workload batch is drained.
+	schedToken chan struct{}
 	// pendingProcureCores tracks autoscale requests in flight so one
 	// shortfall doesn't procure twice.
 	pendingProcureCores int
@@ -360,7 +396,7 @@ func New(cfg Config) (*Scheduler, error) {
 		}
 	}
 
-	clock := simclock.New(simclock.Epoch)
+	clock := newClock(simclock.Epoch)
 	net := netsim.New(clock)
 	hub := telemetry.New(clock)
 	bus := eventlog.NewBus(simclock.Epoch)
@@ -423,6 +459,7 @@ func New(cfg Config) (*Scheduler, error) {
 		insts: newClusterInstruments(hub), baseVMs: baseVMs,
 		store: store, warm: warm, tmpCache: tmpCache,
 		scaleCheck: make(map[string]bool), prof: cfg.Prof,
+		schedToken: make(chan struct{}),
 	}
 	s.prof.AttachClock(clock)
 	s.prof.ObserveBus(bus)
@@ -470,7 +507,7 @@ func (s *Scheduler) Run() (*Report, error) {
 		s.clock.At(simclock.Epoch.Add(j.spec.Arrival), func() { s.onArrival(j) })
 	}
 	deadline := simclock.Epoch.Add(s.cfg.MaxSimTime)
-	for !s.allSettled() && s.clock.Now().Before(deadline) {
+	for s.settled < len(s.jobs) && s.clock.Now().Before(deadline) {
 		if !s.clock.Step() {
 			break
 		}
@@ -478,10 +515,14 @@ func (s *Scheduler) Run() (*Report, error) {
 	}
 	// Whatever is still parked is stalled (or past the deadline): abort
 	// the workload goroutines so they return and release their resources.
+	// An aborted workload settles itself through finish before handing the
+	// token back.
 	for len(s.parkedJobs) > 0 {
 		j := s.parkedJobs[0]
+		s.parkedJobs[0] = nil
 		s.parkedJobs = s.parkedJobs[1:]
-		s.resumeAndAwait(j, false)
+		j.co.wake <- false
+		<-s.schedToken
 	}
 	for _, j := range s.jobs {
 		if j.active() {
@@ -489,6 +530,7 @@ func (s *Scheduler) Run() (*Report, error) {
 			j.finishedAt = s.clock.Now()
 			j.err = fmt.Errorf("cluster: job %s never completed (queued or stalled)", j.appID)
 			s.insts.jobsFailed.Inc()
+			s.settled++
 		}
 	}
 	if s.warm != nil {
@@ -498,13 +540,26 @@ func (s *Scheduler) Run() (*Report, error) {
 	return s.buildReport(), nil
 }
 
-func (s *Scheduler) allSettled() bool {
-	for _, j := range s.jobs {
-		if j.phase != jobDone && j.phase != jobFailed && j.phase != jobShed {
-			return false
-		}
+// passToken hands the execution token to the next run-queue workload, or
+// back to the scheduler goroutine when the batch is drained. Called by
+// whichever goroutine currently holds the token.
+func (s *Scheduler) passToken() {
+	if len(s.runq) > 0 {
+		next := s.runq[0]
+		s.runq[0] = nil
+		s.runq = s.runq[1:]
+		next.co.wake <- true
+		return
 	}
-	return true
+	s.schedToken <- struct{}{}
+}
+
+// observeHandoff closes out co's current execution burst (token receipt to
+// park/finish) on the self-profiler. No-op when profiling is off.
+func (s *Scheduler) observeHandoff(co *coroutine) {
+	if s.prof != nil && !co.resumedAt.IsZero() {
+		s.prof.ObserveHandoff(time.Since(co.resumedAt))
+	}
 }
 
 // kick coalesces any number of state changes into one scheduling pass at
@@ -530,6 +585,12 @@ func (s *Scheduler) onArrival(j *job) {
 	j.queueSpan = s.hub.Tracer().StartSpan("cluster", "queue_wait",
 		telemetry.L("app", j.appID))
 	s.insts.jobsArrived.Inc()
+	// Insert into the active working set keeping ID order (arrival events
+	// fire in time order, not ID order, under heterogeneous arrivals).
+	i := sort.Search(len(s.active), func(k int) bool { return s.active[k].id > j.id })
+	s.active = append(s.active, nil)
+	copy(s.active[i+1:], s.active[i:])
+	s.active[i] = j
 	s.emit(eventlog.ClusterArrive, j, func(ev *eventlog.Event) { ev.Cores = j.spec.Cores })
 	if p := j.spec.Pick; p != nil {
 		s.emit(eventlog.CostPick, j, func(ev *eventlog.Event) {
@@ -544,12 +605,18 @@ func (s *Scheduler) onArrival(j *job) {
 // schedule is the single scheduling pass: policy targets, reclaims,
 // admissions, core grants (segue-first), and autoscale procurement.
 func (s *Scheduler) schedule() {
-	var active []*job
-	for _, j := range s.jobs {
+	// Compact the working set: drop jobs that settled since the last pass.
+	kept := s.active[:0]
+	for _, j := range s.active {
 		if j.active() {
-			active = append(active, j)
+			kept = append(kept, j)
 		}
 	}
+	for i := len(kept); i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = kept
+	active := s.active
 	s.updateGauges()
 	if len(active) == 0 {
 		return
@@ -663,7 +730,7 @@ func (s *Scheduler) schedule() {
 
 func (s *Scheduler) updateGauges() {
 	queued, running := 0, 0
-	for _, j := range s.jobs {
+	for _, j := range s.active {
 		switch j.phase {
 		case jobQueued:
 			queued++
@@ -688,7 +755,7 @@ func (s *Scheduler) admit(j *job) {
 	lg := metrics.NewWithTelemetry(s.clock.Now(), s.hub)
 	lg.SetApp(j.appID)
 	j.backend = newJobBackend(s, j)
-	co := &coroutine{resume: make(chan bool), parked: make(chan struct{})}
+	co := &coroutine{wake: make(chan bool)}
 	j.co = co
 	c, err := engine.New(engine.Config{
 		AppID:               j.appID,
@@ -706,9 +773,15 @@ func (s *Scheduler) admit(j *job) {
 		MaxSimTime:          s.cfg.MaxSimTime,
 		Yield: func(ready func() bool) bool {
 			s.prof.CountYield()
+			s.observeHandoff(co)
 			co.ready = ready
-			co.parked <- struct{}{}
-			return <-co.resume
+			s.parkedJobs = append(s.parkedJobs, j)
+			s.passToken()
+			ok := <-co.wake
+			if s.prof != nil {
+				co.resumedAt = time.Now()
+			}
+			return ok
 		},
 	})
 	if err != nil {
@@ -720,72 +793,54 @@ func (s *Scheduler) admit(j *job) {
 	s.clock.After(0, func() { s.runJob(j) })
 }
 
-// runJob starts the job's workload on its own goroutine and blocks until
-// it parks in engine.RunJob (or finishes outright). From here on the
-// workload only executes between awaitPark/pump handoffs, so its real
-// completion instants are observed at the event that caused them rather
-// than at call-stack unwind.
+// runJob starts the job's workload on its own goroutine, hands it the
+// execution token, and blocks until the token returns (the workload
+// parked in engine.RunJob or finished outright — possibly after chaining
+// through other workloads it unblocked). From here on the workload only
+// executes between token handoffs, so its real completion instants are
+// observed at the event that caused them rather than at call-stack
+// unwind.
 func (s *Scheduler) runJob(j *job) {
+	co := j.co
 	go func() {
+		if s.prof != nil {
+			co.resumedAt = time.Now()
+		}
 		rep, err := j.spec.Workload.Run(j.cluster)
 		j.backend.shutdown()
 		s.finish(j, rep, err)
-		j.co.finished = true
-		j.co.parked <- struct{}{}
+		s.observeHandoff(co)
+		s.passToken()
 	}()
-	if s.prof != nil {
-		start := time.Now()
-		s.awaitPark(j)
-		s.prof.ObserveHandoff(time.Since(start))
-		return
-	}
-	s.awaitPark(j)
+	<-s.schedToken
 }
 
-// awaitPark blocks the scheduling goroutine until j's workload either
-// parks (recorded for pump) or finishes.
-func (s *Scheduler) awaitPark(j *job) {
-	<-j.co.parked
-	if !j.co.finished {
-		s.parkedJobs = append(s.parkedJobs, j)
-	}
-}
-
-// resumeAndAwait wakes j's parked workload (ok=false aborts it) and
-// blocks until it parks again or finishes, timing the whole handoff for
-// the self-profiler when one is attached.
-func (s *Scheduler) resumeAndAwait(j *job, ok bool) {
-	if s.prof != nil {
-		start := time.Now()
-		j.co.resume <- ok
-		s.awaitPark(j)
-		s.prof.ObserveHandoff(time.Since(start))
-		return
-	}
-	j.co.resume <- ok
-	s.awaitPark(j)
-}
-
-// pump resumes every parked workload whose engine job has completed,
-// repeating until no more progress is possible (a resumed workload can
-// finish, unblocking cores that complete another job at the same
-// instant).
+// pump resumes every parked workload whose engine job has completed: it
+// collects the resumable batch in park order, then releases the execution
+// token into the chain with one sync point for the whole batch, repeating
+// until no more progress is possible (a resumed workload can finish,
+// unblocking cores that complete another job at the same instant).
+// Because ready probes are monotone, collect-then-chain resumes workloads
+// in exactly the order the old resume-one-rescan loop did.
 func (s *Scheduler) pump() {
 	for {
-		progressed := false
-		for i := 0; i < len(s.parkedJobs); i++ {
-			j := s.parkedJobs[i]
-			if j.co.ready == nil || !j.co.ready() {
-				continue
+		kept := s.parkedJobs[:0]
+		for _, j := range s.parkedJobs {
+			if j.co.ready != nil && j.co.ready() {
+				s.runq = append(s.runq, j)
+			} else {
+				kept = append(kept, j)
 			}
-			s.parkedJobs = append(s.parkedJobs[:i], s.parkedJobs[i+1:]...)
-			i--
-			s.resumeAndAwait(j, true)
-			progressed = true
 		}
-		if !progressed {
+		for i := len(kept); i < len(s.parkedJobs); i++ {
+			s.parkedJobs[i] = nil
+		}
+		s.parkedJobs = kept
+		if len(s.runq) == 0 {
 			return
 		}
+		s.passToken()
+		<-s.schedToken
 	}
 }
 
@@ -815,20 +870,35 @@ func (s *Scheduler) finish(j *job, rep *workloads.Report, err error) {
 	// Bill the job: each VM executor is one core of its host for its
 	// registered lifetime; each Lambda for its billed duration.
 	if j.cluster != nil {
+		j.execHosts = make(map[string]string)
 		for _, e := range j.cluster.AllExecutors() {
 			if e.Kind != engine.ExecVM || e.VM == nil {
 				continue
 			}
+			j.execHosts[e.ID] = e.VM.ID
 			end := e.RemovedAt
 			if e.State != engine.ExecDead {
 				end = now
 			}
 			j.meter.AddVM(e.HostID, e.VM.Type.PricePerHour, e.VM.Type.VCPUs, 1, end.Sub(e.RegisteredAt))
 		}
+		j.workDist = j.cluster.WorkDistribution()
 	}
 	for _, l := range j.lambdas {
 		j.meter.AddLambda(l.ID, s.cfg.LambdaMemoryMB, l.BilledDuration(now))
 	}
+	// The job is settled: release its simulation state. At 10k concurrent
+	// jobs the retained engines (executor/task records) and metric logs
+	// are what inflate the live heap — and with it GC pause tails in the
+	// clock loop — so dropping them here is part of the run-queue perf
+	// work, not just tidiness. Launch callbacks still in flight hold their
+	// own references and self-release on the done flag.
+	s.settled++
+	j.cluster = nil
+	j.backend = nil
+	j.log = nil
+	j.lambdas = nil
+	j.co = nil
 	s.kick()
 }
 
@@ -837,7 +907,7 @@ func (s *Scheduler) finish(j *job, rep *workloads.Report, err error) {
 // the base of its SLO deadline. The run uses its own simulation; the
 // caller's clock never moves.
 func Baseline(w workloads.Workload, cores int, seed uint64) (time.Duration, error) {
-	clock := simclock.New(simclock.Epoch)
+	clock := newClock(simclock.Epoch)
 	net := netsim.New(clock)
 	provider := cloud.NewProvider(clock, net, simrand.New(seed+1), cloud.DefaultOptions())
 

@@ -145,6 +145,7 @@ func (s *Scheduler) shed(j *job, reason string) {
 	j.phase = jobShed
 	j.finishedAt = s.clock.Now()
 	j.shedReason = reason
+	s.settled++
 	j.queueSpan.End()
 	if j.jobSpan != nil {
 		j.jobSpan.End()
@@ -194,7 +195,7 @@ func (s *Scheduler) tryScaleDown(vm *cloud.VM) {
 	}
 	// Hold capacity while anything is queued: releasing under a backlog
 	// would trade queue wait (and SLO attainment) for VM-hours.
-	for _, j := range s.jobs {
+	for _, j := range s.active {
 		if j.phase == jobQueued {
 			return
 		}

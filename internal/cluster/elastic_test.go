@@ -233,13 +233,8 @@ func TestElasticityPropertyInvariants(t *testing.T) {
 			// to predate its host's release.
 			execVM := map[string]string{}
 			for _, j := range s.jobs {
-				if j.cluster == nil {
-					continue
-				}
-				for _, e := range j.cluster.AllExecutors() {
-					if e.VM != nil {
-						execVM[e.ID] = e.VM.ID
-					}
+				for id, host := range j.execHosts {
+					execVM[id] = host
 				}
 			}
 			releasedAt := map[string]int64{}

@@ -191,9 +191,8 @@ func (s *Scheduler) buildReport() *Report {
 				end = j.finishedAt
 			}
 		}
-		if j.cluster != nil {
-			wd := j.cluster.WorkDistribution()
-			vm, la := wd[engine.ExecVM], wd[engine.ExecLambda]
+		if j.workDist != nil {
+			vm, la := j.workDist[engine.ExecVM], j.workDist[engine.ExecLambda]
 			jr.VMExecutors, jr.VMTasks = vm.Executors, vm.Tasks
 			jr.LambdaExecutors, jr.LambdaTasks = la.Executors, la.Tasks
 			vmBusy += vm.Busy

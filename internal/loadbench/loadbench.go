@@ -1,7 +1,7 @@
 // Package loadbench is the load benchmark harness behind the repo's
 // BENCH_*.json perf trajectory: it pushes a stream of N tiny jobs through
-// the real cluster scheduler (coroutine handoffs, simclock heap, event
-// bus — nothing mocked) with perfstat attached, and reduces the run to a
+// the real cluster scheduler (run-queue handoffs, simclock timer wheel,
+// event bus — nothing mocked) with perfstat attached, and reduces the run to a
 // stable-schema point of host-side throughput numbers. Every later
 // optimisation of the event loop cites the delta between two of these
 // files; see OBSERVABILITY.md ("Layer 3") for the schema and the compare

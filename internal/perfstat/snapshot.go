@@ -60,7 +60,8 @@ type Snapshot struct {
 
 // ClockStats are the simclock self-observation counters.
 type ClockStats struct {
-	// HeapHighWater is the deepest the event heap got (ghosts included).
+	// HeapHighWater is the deepest the event queue got (ghosts included);
+	// the name predates the timer wheel and is kept for schema stability.
 	HeapHighWater int `json:"heap_high_water"`
 	// Cancelled counts timers cancelled before firing; GhostsLive is the
 	// cancelled entries still occupying heap slots at snapshot time;

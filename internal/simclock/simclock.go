@@ -5,21 +5,45 @@
 // The clock is single-threaded and deterministic. Events scheduled for the
 // same instant fire in scheduling order (FIFO), which makes every experiment
 // bit-for-bit reproducible. Components never sleep; they schedule callbacks.
+//
+// The event queue is indexed by a hierarchical timer wheel (see wheel.go):
+// four 256-slot levels of ~1 ms ticks cascading down toward a near-term
+// ready heap, with a small overflow heap for events beyond the ~52-day
+// wheel horizon. The original binary-heap index is retained behind
+// NewHeapBacked as the reference implementation; the differential property
+// and fuzz tests in this package drive both with identical programs and
+// require identical firing order and identical observability counters.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
+
+// queueImpl is the pluggable event-queue index behind Clock. Entries are
+// totally ordered by (key, seq); cancelled entries ("ghosts", fn == nil)
+// stay indexed until they reach the front or a compaction sweeps them, so
+// both implementations expose identical counter behavior.
+type queueImpl interface {
+	push(ev *event)
+	// popMin removes and returns the front entry — live or ghost — or
+	// nil when the queue is empty.
+	popMin() *event
+	// peekMin returns the front entry without removing it, or nil.
+	peekMin() *event
+	len() int
+	// compact removes every ghost entry and returns how many were shed.
+	compact() int
+}
 
 // Clock is a virtual clock driving an event loop. The zero value is not
 // usable; construct with New. Clock is not safe for concurrent use: the
 // entire simulation runs on one goroutine by design.
 type Clock struct {
+	start  time.Time // origin of the queue's int64 time coordinate
 	now    time.Time
 	seq    uint64
-	queue  eventHeap
+	queue  queueImpl
 	fired  uint64
 	inLoop bool
 
@@ -53,16 +77,29 @@ type Timer struct {
 }
 
 type event struct {
-	at    time.Time
-	seq   uint64
-	fn    func()
-	index int    // heap index; -1 when popped or cancelled
+	at  time.Time
+	key int64 // at - clock start, in ns: the queue's comparison key
+	seq uint64
+	fn  func()
+	// index is non-negative while the entry is queued and -1 once it
+	// fired, was compacted away, or was popped. The heaps maintain it;
+	// wheel slots park it at 0.
+	index int
 	clock *Clock // owner, for ghost accounting on cancel
 }
 
-// New returns a Clock whose current time is start.
+// New returns a Clock whose current time is start, indexed by the
+// hierarchical timer wheel.
 func New(start time.Time) *Clock {
-	return &Clock{now: start}
+	return &Clock{now: start, start: start, queue: newWheelQueue()}
+}
+
+// NewHeapBacked returns a Clock indexed by the original binary-heap event
+// queue. It exists solely so differential and golden tests can pin the
+// timer wheel against the reference implementation; simulations should
+// use New.
+func NewHeapBacked(start time.Time) *Clock {
+	return &Clock{now: start, start: start, queue: &heapQueue{}}
 }
 
 // Epoch is a convenient fixed start instant for simulations.
@@ -79,21 +116,22 @@ func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }
 func (c *Clock) Fired() uint64 { return c.fired }
 
 // Pending returns the number of events currently scheduled.
-func (c *Clock) Pending() int { return c.queue.Len() }
+func (c *Clock) Pending() int { return c.queue.len() }
 
 // Cancelled returns the number of timers cancelled before firing.
 func (c *Clock) Cancelled() uint64 { return c.cancelled }
 
-// Ghosts returns the number of cancelled entries still occupying heap
+// Ghosts returns the number of cancelled entries still occupying queue
 // slots (the lazy-discard path). Compaction keeps this bounded; see
 // maybeCompact.
 func (c *Clock) Ghosts() int { return c.ghosts }
 
-// HeapHighWater returns the maximum event-heap depth observed, including
+// HeapHighWater returns the maximum event-queue depth observed, including
 // ghost entries — the queue-indexing pressure metric perfstat tracks.
+// (The name predates the timer wheel; it is part of the perfstat schema.)
 func (c *Clock) HeapHighWater() int { return c.highWater }
 
-// Compactions returns how many times the heap was rebuilt to shed ghost
+// Compactions returns how many times the queue was rebuilt to shed ghost
 // entries.
 func (c *Clock) Compactions() uint64 { return c.compactions }
 
@@ -115,10 +153,10 @@ func (c *Clock) At(t time.Time, fn func()) *Timer {
 	if t.Before(c.now) {
 		t = c.now
 	}
-	ev := &event{at: t, seq: c.seq, fn: fn, clock: c}
+	ev := &event{at: t, key: int64(t.Sub(c.start)), seq: c.seq, fn: fn, clock: c}
 	c.seq++
-	heap.Push(&c.queue, ev)
-	if n := c.queue.Len(); n > c.highWater {
+	c.queue.push(ev)
+	if n := c.queue.len(); n > c.highWater {
 		c.highWater = n
 	}
 	return &Timer{ev: ev}
@@ -136,6 +174,27 @@ func (t *Timer) Cancel() bool {
 	return true
 }
 
+// Reschedule moves a pending timer so it fires d after the current
+// virtual time instead (negative d is treated as zero). It reports false
+// — and moves nothing — if the timer already fired or was cancelled. The
+// moved timer re-enters scheduling order: against other events at its new
+// instant it fires as if it had just been scheduled. The abandoned entry
+// becomes a ghost, lazily discarded exactly like a cancellation (but not
+// counted in Cancelled).
+func (t *Timer) Reschedule(d time.Duration) bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	old := t.ev
+	c := old.clock
+	fn := old.fn
+	old.fn = nil
+	c.ghosts++
+	t.ev = c.After(d, fn).ev
+	c.maybeCompact()
+	return true
+}
+
 // When returns the instant at which the timer is scheduled to fire. It
 // reports false if the timer already fired or was cancelled.
 func (t *Timer) When() (time.Time, bool) {
@@ -147,37 +206,24 @@ func (t *Timer) When() (time.Time, bool) {
 
 func (e *event) cancel() {
 	if e.index >= 0 {
-		e.fn = nil // release closure; the heap entry is lazily discarded
+		e.fn = nil // release closure; the queue entry is lazily discarded
 		e.clock.cancelled++
 		e.clock.ghosts++
 		e.clock.maybeCompact()
 	}
 }
 
-// maybeCompact rebuilds the heap without ghost entries once they dominate
+// maybeCompact rebuilds the queue without ghost entries once they dominate
 // it, so a cancel-heavy workload (armed-then-cancelled timers far in the
-// virtual future) cannot grow the heap unboundedly. The rebuild preserves
+// virtual future) cannot grow the queue unboundedly. The rebuild preserves
 // the (at, seq) total order, so firing order — and therefore determinism —
 // is unchanged.
 func (c *Clock) maybeCompact() {
 	const minGhosts = 64
-	if c.ghosts < minGhosts || 2*c.ghosts <= c.queue.Len() {
+	if c.ghosts < minGhosts || 2*c.ghosts <= c.queue.len() {
 		return
 	}
-	live := c.queue[:0]
-	for _, ev := range c.queue {
-		if ev.fn != nil {
-			ev.index = len(live)
-			live = append(live, ev)
-		} else {
-			ev.index = -1
-		}
-	}
-	for i := len(live); i < len(c.queue); i++ {
-		c.queue[i] = nil // release ghost slots to the GC
-	}
-	c.queue = live
-	heap.Init(&c.queue)
+	c.queue.compact()
 	c.ghosts = 0
 	c.compactions++
 }
@@ -197,8 +243,11 @@ func (c *Clock) Step() bool {
 }
 
 func (c *Clock) step() bool {
-	for c.queue.Len() > 0 {
-		ev := heap.Pop(&c.queue).(*event)
+	for {
+		ev := c.queue.popMin()
+		if ev == nil {
+			return false
+		}
 		if ev.fn == nil { // cancelled
 			c.ghosts--
 			continue
@@ -212,7 +261,6 @@ func (c *Clock) step() bool {
 		fn()
 		return true
 	}
-	return false
 }
 
 // Run fires events until the queue is empty.
@@ -260,57 +308,22 @@ func (c *Clock) guardLoop() {
 }
 
 func (c *Clock) peek() (time.Time, bool) {
-	for c.queue.Len() > 0 {
-		top := c.queue[0]
-		if top.fn == nil {
-			heap.Pop(&c.queue)
+	for {
+		ev := c.queue.peekMin()
+		if ev == nil {
+			return time.Time{}, false
+		}
+		if ev.fn == nil { // ghost at the front: discard, exactly like step
+			c.queue.popMin()
 			c.ghosts--
 			continue
 		}
-		return top.at, true
+		return ev.at, true
 	}
-	return time.Time{}, false
 }
 
 // String summarises the clock state for debugging.
 func (c *Clock) String() string {
 	return fmt.Sprintf("simclock{now=%s pending=%d fired=%d}",
-		c.now.Format(time.RFC3339Nano), c.queue.Len(), c.fired)
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("simclock: push of non-event")
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+		c.now.Format(time.RFC3339Nano), c.queue.len(), c.fired)
 }
