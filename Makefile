@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz sim bench smoke attrib warmsweep loadbench
+.PHONY: build test check vet race fuzz sim bench smoke attrib warmsweep shardreplay loadbench
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ check:
 	$(MAKE) fuzz
 	$(MAKE) smoke
 	$(MAKE) attrib
+	$(MAKE) shardreplay
 
 # smoke round-trips the observability pipeline (run a small cluster day,
 # save its event log, replay it through splitserve-history, convert it to
@@ -81,6 +82,27 @@ attrib:
 	@$(GO) run ./cmd/splitserve-history -diff smoke/attrib.json smoke/attrib.json \
 		| grep -q 'no change' \
 		&& echo "attrib: self-diff is all zeros"
+
+# shardreplay smokes the sharded control plane: replay the committed
+# production-shape trace fixture across 4 shards with -validate (the
+# per-tenant distributions must match exactly), and check the merged
+# event log carries the sharding vocabulary. CI uploads the merged
+# report and event log as artifacts.
+shardreplay:
+	mkdir -p smoke
+	$(GO) run ./cmd/splitserve-cluster \
+		-arrival tracefile:internal/tracereplay/testdata/multitenant_small.csv \
+		-shards 4 -validate -report json \
+		-eventlog smoke/shard-events.jsonl > smoke/shard-report.json
+	@grep -q '"type":"shard_assign"' smoke/shard-events.jsonl \
+		&& grep -q '"type":"shard_steal"' smoke/shard-events.jsonl \
+		&& grep -q '"type":"tenant_report"' smoke/shard-events.jsonl \
+		&& echo "shardreplay: sharding event vocabulary present in smoke/shard-events.jsonl"
+	@grep -q '"schema": "splitserve-shard/v1"' smoke/shard-report.json \
+		&& echo "shardreplay: merged report written to smoke/shard-report.json"
+	$(GO) run ./cmd/splitserve-history -log smoke/shard-events.jsonl \
+		-trace smoke/shard-trace.json
+	@test -s smoke/shard-trace.json && echo "shardreplay: sharded event log replayed, trace written to smoke/shard-trace.json"
 
 # warmsweep regenerates the warm-pool crossover table (EXPERIMENTS.md,
 # "Warm-pool Lambda with a /tmp shuffle cache tier"). CI uploads the

@@ -9,10 +9,21 @@
 //	splitserve-cluster -warmpool 4 -tmpcache -mix shufflereuse
 //	splitserve-cluster -warmsweep
 //	splitserve-cluster -compare
+//	splitserve-cluster -shards 4 -tenants 6 -jobs 40
+//	splitserve-cluster -arrival tracefile:trace.csv -shards 4 -validate
+//	splitserve-cluster -shardsweep
 //
 // With -cores auto the cost manager sizes each arriving job from the
 // profile curves written by `splitserve-profile -out` instead of taking
 // a fixed R. Same seed, same flags → byte-identical -report json output.
+//
+// Multi-tenant runs go through the sharded control plane: -tenants N
+// labels the stream round-robin, a tracefile TENANT column labels it per
+// row, and a production-shaped 4-column trace (tenant,arrival,runtime,
+// cores — see internal/tracereplay) is replayed wholesale, with -validate
+// checking the replay against the trace's per-tenant distributions.
+// -shards N partitions the pool across N scheduler instances by tenant
+// hash, with work-stealing between them.
 package main
 
 import (
@@ -27,6 +38,9 @@ import (
 	"splitserve/internal/cluster"
 	"splitserve/internal/costmgr"
 	"splitserve/internal/experiments"
+	"splitserve/internal/perfstat"
+	"splitserve/internal/shard"
+	"splitserve/internal/tracereplay"
 	"splitserve/internal/workloads"
 )
 
@@ -96,31 +110,35 @@ func main() {
 
 func run() int {
 	var (
-		jobs      = flag.Int("jobs", 8, "number of jobs in the stream")
-		mixSpec   = flag.String("mix", "sparkpi,pagerank,kmeans", "comma-separated workload mix: "+mixNames())
-		arrival   = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,... | tracefile:PATH")
-		policy    = flag.String("policy", "fair", "core-sharing policy: fifo | fair")
-		strategy  = flag.String("strategy", "bridge", "shortfall strategy: queue | autoscale | bridge")
-		slo       = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
-		pool      = flag.Int("pool", 16, "shared VM pool size in cores")
-		cores     = flag.String("cores", "8", "per-job core demand R, or \"auto\" to let the cost manager size each job (-profiles)")
-		profiles  = flag.String("profiles", "", "profile file from `splitserve-profile -out` (required with -cores auto)")
-		alloc     = flag.String("alloc", "min-cost", "cost-manager policy with -cores auto: min-cost | min-time | knee")
-		budget    = flag.Float64("budget", 0, "per-job predicted-cost cap in USD for -alloc min-time (0 = uncapped)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		report    = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
-		compare   = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
-		costcmp   = flag.Bool("costcompare", false, "run the fixed-R vs cost-manager comparison (requires -profiles)")
-		scaledown = flag.Duration("scaledown", 0, "release autoscale-procured VMs idle for this long back to the provider (0 disables)")
-		admission = flag.String("admission", "greedy", "admission policy: greedy | deadline (delay or shed jobs whose SLO is unattainable)")
-		elastic   = flag.Bool("elastic", false, "run the elasticity comparison: keep-forever vs -scaledown vs -scaledown plus deadline admission")
-		warmPool  = flag.Int("warmpool", 0, "provision this many warm Lambda environments (provisioned concurrency; 0 disables)")
-		tmpCache  = flag.Bool("tmpcache", false, "serve repeat shuffle reads from warm environments' /tmp cache tier (needs -warmpool)")
-		warmsweep = flag.Bool("warmsweep", false, "run the warm-pool crossover sweep: VM autoscale vs cold Lambda vs warm+cached Lambda per arrival rate x shuffle reuse")
-		coldstart = flag.Bool("coldstarts", false, "model a cold ambient Lambda fleet: first invocations pay the full cold-start latency (default: always-warm ambient environments)")
-		eventLog  = flag.String("eventlog", "", cliutil.EventLogUsage)
-		trace     = flag.String("trace", "", cliutil.TraceUsage)
-		attribF   = flag.String("attrib", "", cliutil.AttribUsage)
+		jobs       = flag.Int("jobs", 8, "number of jobs in the stream")
+		mixSpec    = flag.String("mix", "sparkpi,pagerank,kmeans", "comma-separated workload mix: "+mixNames())
+		arrival    = flag.String("arrival", "poisson:45s", "arrival process: poisson:MEAN | uniform:GAP | bursty:KxGAP | trace:D1,D2,... | tracefile:PATH")
+		policy     = flag.String("policy", "fair", "core-sharing policy: fifo | fair")
+		strategy   = flag.String("strategy", "bridge", "shortfall strategy: queue | autoscale | bridge")
+		slo        = flag.Float64("slo", 1.5, "SLO factor: deadline = factor x full-provisioning baseline")
+		pool       = flag.Int("pool", 16, "shared VM pool size in cores")
+		cores      = flag.String("cores", "8", "per-job core demand R, or \"auto\" to let the cost manager size each job (-profiles)")
+		profiles   = flag.String("profiles", "", "profile file from `splitserve-profile -out` (required with -cores auto)")
+		alloc      = flag.String("alloc", "min-cost", "cost-manager policy with -cores auto: min-cost | min-time | knee")
+		budget     = flag.Float64("budget", 0, "per-job predicted-cost cap in USD for -alloc min-time (0 = uncapped)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		report     = flag.String("report", "", "emit the run report: json | prom (default: summary table)")
+		compare    = flag.Bool("compare", false, "run the day-long strategy comparison (mirrors splitserve-bench -daysim with real DAGs)")
+		costcmp    = flag.Bool("costcompare", false, "run the fixed-R vs cost-manager comparison (requires -profiles)")
+		scaledown  = flag.Duration("scaledown", 0, "release autoscale-procured VMs idle for this long back to the provider (0 disables)")
+		admission  = flag.String("admission", "greedy", "admission policy: greedy | deadline (delay or shed jobs whose SLO is unattainable)")
+		elastic    = flag.Bool("elastic", false, "run the elasticity comparison: keep-forever vs -scaledown vs -scaledown plus deadline admission")
+		warmPool   = flag.Int("warmpool", 0, "provision this many warm Lambda environments (provisioned concurrency; 0 disables)")
+		tmpCache   = flag.Bool("tmpcache", false, "serve repeat shuffle reads from warm environments' /tmp cache tier (needs -warmpool)")
+		warmsweep  = flag.Bool("warmsweep", false, "run the warm-pool crossover sweep: VM autoscale vs cold Lambda vs warm+cached Lambda per arrival rate x shuffle reuse")
+		coldstart  = flag.Bool("coldstarts", false, "model a cold ambient Lambda fleet: first invocations pay the full cold-start latency (default: always-warm ambient environments)")
+		shards     = flag.Int("shards", 1, "control-plane shards: the pool splits evenly across this many scheduler instances keyed by tenant hash (>1 requires tenant labels)")
+		tenants    = flag.Int("tenants", 0, "label the job stream with this many synthetic tenants (t00, t01, ... round-robin); 0 leaves it untenanted")
+		validate   = flag.Bool("validate", false, "after replaying a production trace, check the merged report against the trace's per-tenant distributions (exit 1 on mismatch)")
+		shardsweep = flag.Bool("shardsweep", false, "run the shard-scaling sweep: one skewed multi-tenant stream at 1, 2 and 4 shards")
+		eventLog   = flag.String("eventlog", "", cliutil.EventLogUsage)
+		trace      = flag.String("trace", "", cliutil.TraceUsage)
+		attribF    = flag.String("attrib", "", cliutil.AttribUsage)
 	)
 	perf := cliutil.RegisterPerfFlags(nil)
 	flag.Parse()
@@ -159,6 +177,19 @@ func run() int {
 	}
 	if *warmPool < 0 {
 		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -warmpool %d (0 disables)\n", *warmPool)
+		return 2
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: bad -shards %d (want >= 1)\n", *shards)
+		return 2
+	}
+	if *pool%*shards != 0 {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: -shards %d does not divide the %d-core pool evenly (accepted shard counts: %v)\n",
+			*shards, *pool, shard.Divisors(*pool))
+		return 2
+	}
+	if *tenants < 0 {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: negative -tenants %d (0 leaves the stream untenanted)\n", *tenants)
 		return 2
 	}
 	perf.Label = *strategy + "/" + *mixSpec
@@ -216,6 +247,17 @@ func run() int {
 		return writePerf()
 	}
 
+	if *shardsweep {
+		reps, err := experiments.ShardScaling(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		fmt.Println("== sharded control plane: one skewed multi-tenant stream at 1, 2 and 4 shards ==")
+		fmt.Print(experiments.FormatShardScaling(reps))
+		return writePerf()
+	}
+
 	if *costcmp {
 		if *profiles == "" {
 			fmt.Fprintln(os.Stderr, "splitserve-cluster: -costcompare requires -profiles (run splitserve-profile -out first)")
@@ -234,6 +276,37 @@ func run() int {
 		fmt.Println("== cost manager: fixed per-job R vs profile-driven allocation ==")
 		fmt.Print(experiments.FormatCostManagerComparison(runs))
 		return writePerf()
+	}
+
+	// A production-shaped trace (tenant,arrival,runtime,cores) is replayed
+	// wholesale: every row becomes a job sized to its traced runtime and
+	// demand, so -jobs/-mix/-cores do not apply.
+	if path, ok := strings.CutPrefix(*arrival, "tracefile:"); ok && tracereplay.Detect(path) {
+		tr, err := tracereplay.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 2
+		}
+		for _, w := range tr.Warnings {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster: warning:", w)
+		}
+		specs, err := tracereplay.Specs(tr, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		return runSharded(shardedArgs{
+			shards: *shards, pool: *pool, policy: pol, strategy: strat,
+			slo: *slo, seed: *seed, admission: adm, scaledown: *scaledown,
+			warmPool: *warmPool, tmpCache: *tmpCache, coldStarts: *coldstart,
+			alloc: "trace", prof: prof, specs: specs, report: *report,
+			eventLog: *eventLog, trace: *trace, attribF: *attribF,
+			prodTrace: tr, validate: *validate, writePerf: writePerf,
+		})
+	}
+	if *validate {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster: -validate requires a production trace (-arrival tracefile:PATH with tenant,arrival,runtime,cores rows)")
+		return 2
 	}
 
 	mix, err := parseMix(*mixSpec)
@@ -260,16 +333,21 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 		return 2
 	}
-	// A tracefile may pin some jobs' core demand per row; those rows
-	// bypass both the fixed default and the cost manager.
+	// A tracefile may pin some jobs' core demand and tenant per row;
+	// pinned cores bypass both the fixed default and the cost manager.
 	var traceCores []int
+	var traceTenants []string
 	if path, ok := strings.CutPrefix(*arrival, "tracefile:"); ok {
 		tr, err := cluster.LoadArrivalTrace(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
 			return 2
 		}
+		for _, w := range tr.Warnings {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster: warning:", w)
+		}
 		traceCores = tr.Cores
+		traceTenants = tr.Tenants
 	}
 
 	coreList := make([]int, len(arrivals))
@@ -326,6 +404,37 @@ func run() int {
 		return 1
 	}
 
+	// Tenant labels: a tracefile TENANT column wins per row; otherwise
+	// -tenants N labels the stream round-robin.
+	tenanted := false
+	for i := range specs {
+		if i < len(traceTenants) && traceTenants[i] != "" {
+			specs[i].Tenant = traceTenants[i]
+		} else if *tenants > 0 {
+			specs[i].Tenant = fmt.Sprintf("t%02d", i%*tenants)
+		}
+		if specs[i].Tenant != "" {
+			tenanted = true
+		}
+	}
+	if *shards > 1 && !tenanted {
+		fmt.Fprintf(os.Stderr, "splitserve-cluster: -shards %d needs tenant labels (use -tenants N or a tracefile TENANT column)\n", *shards)
+		return 2
+	}
+	// Any tenant label routes the run through the sharded control plane —
+	// even at -shards 1 — so per-tenant reporting is uniform. Untenanted
+	// single-shard runs keep the direct scheduler path below byte for byte.
+	if tenanted {
+		return runSharded(shardedArgs{
+			shards: *shards, pool: *pool, policy: pol, strategy: strat,
+			slo: *slo, seed: *seed, admission: adm, scaledown: *scaledown,
+			warmPool: *warmPool, tmpCache: *tmpCache, coldStarts: *coldstart,
+			alloc: allocLabel, prof: prof, specs: specs, report: *report,
+			eventLog: *eventLog, trace: *trace, attribF: *attribF,
+			writePerf: writePerf,
+		})
+	}
+
 	s, err := cluster.New(cluster.Config{
 		Jobs:          specs,
 		PoolCores:     *pool,
@@ -380,4 +489,101 @@ func run() int {
 		fmt.Print(rep)
 	}
 	return writePerf()
+}
+
+// shardedArgs carries the resolved flag set into the sharded
+// control-plane path.
+type shardedArgs struct {
+	shards     int
+	pool       int
+	policy     cluster.Policy
+	strategy   cluster.Strategy
+	slo        float64
+	seed       uint64
+	admission  cluster.Admission
+	scaledown  time.Duration
+	warmPool   int
+	tmpCache   bool
+	coldStarts bool
+	alloc      string
+	prof       *perfstat.Collector
+	specs      []cluster.JobSpec
+	report     string
+	eventLog   string
+	trace      string
+	attribF    string
+	prodTrace  *tracereplay.Trace
+	validate   bool
+	writePerf  func() int
+}
+
+// runSharded drives a tenant-labelled stream through the sharded
+// control plane and emits the merged report, event log and attribution.
+func runSharded(a shardedArgs) int {
+	if a.report == "prom" {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster: -report prom is not supported on the sharded control-plane path (use json or the default table)")
+		return 2
+	}
+	m, err := shard.New(shard.Config{
+		Shards: a.shards,
+		Cluster: cluster.Config{
+			Jobs:          a.specs,
+			PoolCores:     a.pool,
+			Policy:        a.policy,
+			Strategy:      a.strategy,
+			SLOFactor:     a.slo,
+			Seed:          a.seed,
+			Admission:     a.admission,
+			ScaleDownIdle: a.scaledown,
+			WarmPool:      a.warmPool,
+			TmpCache:      a.tmpCache,
+			ColdStarts:    a.coldStarts,
+			Alloc:         a.alloc,
+			Prof:          a.prof,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	rep, err := m.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	events := m.Events()
+	if err := cliutil.WriteEventLog(a.eventLog, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	if err := cliutil.WriteTrace(a.trace, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+	if err := cliutil.WriteAttrib(a.attribF, events); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+		return 1
+	}
+
+	switch a.report {
+	case "json":
+		buf, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "splitserve-cluster:", err)
+			return 1
+		}
+		os.Stdout.Write(buf)
+	default:
+		fmt.Print(rep)
+	}
+	// The validation table goes to stderr so -report json output stays
+	// parseable; the exit code is the machine-readable verdict.
+	if a.prodTrace != nil && a.validate {
+		v := tracereplay.Validate(a.prodTrace, rep)
+		fmt.Fprint(os.Stderr, v)
+		if !v.OK {
+			return 1
+		}
+	}
+	return a.writePerf()
 }

@@ -6,6 +6,7 @@
 //	splitserve-loadbench                          # 100/1k/10k jobs -> BENCH_dev.json
 //	splitserve-loadbench -label baseline          # -> BENCH_baseline.json
 //	splitserve-loadbench -jobs 100,1000 -out -    # small run to stdout
+//	splitserve-loadbench -shards 1,4 -tenants 8   # sharded control-plane points
 //	splitserve-loadbench -compare OLD NEW         # diff two files, exit 1 past -threshold
 //
 // The measurements are host wall-clock data ("deterministic": false);
@@ -32,14 +33,16 @@ func main() {
 
 func run() int {
 	var (
-		jobsSpec  = flag.String("jobs", "100,1000,10000", "comma-separated job counts to measure")
-		label     = flag.String("label", "dev", "trajectory label; default output is BENCH_<label>.json")
-		out       = flag.String("out", "", "output path (- = stdout; default BENCH_<label>.json)")
-		seed      = flag.Uint64("seed", 1, "simulation seed (the runs are deterministic; the measurements are not)")
-		compare   = flag.Bool("compare", false, "compare two BENCH files: splitserve-loadbench -compare OLD NEW")
-		threshold = flag.Float64("threshold", 0.10, "relative change past which -compare exits nonzero (0.10 = 10% worse)")
-		quiet     = flag.Bool("quiet", false, "suppress per-point progress on stderr")
-		commit    = flag.String("commit", cliutil.CommitFromEnv(), cliutil.CommitUsage)
+		jobsSpec   = flag.String("jobs", "100,1000,10000", "comma-separated job counts to measure")
+		label      = flag.String("label", "dev", "trajectory label; default output is BENCH_<label>.json")
+		out        = flag.String("out", "", "output path (- = stdout; default BENCH_<label>.json)")
+		seed       = flag.Uint64("seed", 1, "simulation seed (the runs are deterministic; the measurements are not)")
+		compare    = flag.Bool("compare", false, "compare two BENCH files: splitserve-loadbench -compare OLD NEW")
+		threshold  = flag.Float64("threshold", 0.10, "relative change past which -compare exits nonzero (0.10 = 10% worse)")
+		quiet      = flag.Bool("quiet", false, "suppress per-point progress on stderr")
+		shardsSpec = flag.String("shards", "", "comma-separated shard counts: measure the sharded control plane at each (empty = classic single-scheduler points)")
+		tenants    = flag.Int("tenants", 8, "synthetic tenant count for -shards points (t00, t01, ... round-robin)")
+		commit     = flag.String("commit", cliutil.CommitFromEnv(), cliutil.CommitUsage)
 	)
 	perf := &cliutil.PerfFlags{}
 	flag.StringVar(&perf.CPUProfile, "cpuprofile", "", cliutil.CPUProfileUsage)
@@ -71,6 +74,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "splitserve-loadbench: -jobs is empty")
 		return 2
 	}
+	var shardCounts []int
+	for _, f := range strings.Split(*shardsSpec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "splitserve-loadbench: bad shard count %q in -shards\n", f)
+			return 2
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	if len(shardCounts) > 0 && *tenants < 1 {
+		fmt.Fprintf(os.Stderr, "splitserve-loadbench: bad -tenants %d (want >= 1)\n", *tenants)
+		return 2
+	}
 	path := *out
 	if path == "" {
 		path = "BENCH_" + *label + ".json"
@@ -90,19 +110,37 @@ func run() int {
 		Seed:      *seed,
 	}
 	for _, n := range counts {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "splitserve-loadbench: measuring %d jobs...\n", n)
+		if len(shardCounts) == 0 {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "splitserve-loadbench: measuring %d jobs...\n", n)
+			}
+			p, err := loadbench.RunPoint(n, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+				return 1
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "  %d jobs in %.1fs: %.1f jobs/sec, %.0f events/sec, %.1f allocs/event\n",
+					n, p.WallSeconds, p.JobsPerSec, p.EventsPerSec, p.AllocsPerEvent)
+			}
+			file.Points = append(file.Points, p)
+			continue
 		}
-		p, err := loadbench.RunPoint(n, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
-			return 1
+		for _, sh := range shardCounts {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "splitserve-loadbench: measuring %d jobs at %d shard(s), %d tenants...\n", n, sh, *tenants)
+			}
+			p, err := loadbench.RunShardPoint(n, sh, *tenants, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)
+				return 1
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "  %d jobs x%d shards in %.1fs: %.1f jobs/sec, %.0f events/sec, %.1f allocs/event\n",
+					n, sh, p.WallSeconds, p.JobsPerSec, p.EventsPerSec, p.AllocsPerEvent)
+			}
+			file.Points = append(file.Points, p)
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "  %d jobs in %.1fs: %.1f jobs/sec, %.0f events/sec, %.1f allocs/event\n",
-				n, p.WallSeconds, p.JobsPerSec, p.EventsPerSec, p.AllocsPerEvent)
-		}
-		file.Points = append(file.Points, p)
 	}
 	if err := perf.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserve-loadbench:", err)

@@ -210,12 +210,13 @@ func (t *Table) add(j *JobAttribution) {
 // Report is the full splitserve-attrib/v1 document: every job's
 // decomposition plus the aggregate tables.
 type Report struct {
-	Schema string            `json:"schema"`
-	Jobs   []JobAttribution  `json:"jobs"`
-	Totals *Table            `json:"totals"`
-	// ByTenant groups jobs by submitting tenant (today the per-job app
-	// prefix — one tenant per submission until the sharded multi-tenant
-	// control plane lands). ByBackend groups critical-path blame by the
+	Schema string           `json:"schema"`
+	Jobs   []JobAttribution `json:"jobs"`
+	Totals *Table           `json:"totals"`
+	// ByTenant groups jobs by submitting tenant: the true tenant id when
+	// the log carries shard_assign/shard_steal events (sharded
+	// multi-tenant runs), the per-job app prefix otherwise — one tenant
+	// per submission. ByBackend groups critical-path blame by the
 	// executor substrate that hosted it ("vm" | "lambda" | "driver" for
 	// segments owned by no executor). ByWorkload groups by job name.
 	ByTenant   map[string]*Table `json:"by_tenant,omitempty"`

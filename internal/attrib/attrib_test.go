@@ -167,11 +167,11 @@ func warmComparableConfig(t *testing.T, warmPool int) cluster.Config {
 		Name: "sparkpi", Workload: w, Cores: 8, Arrival: 0, Baseline: base,
 	}}
 	return cluster.Config{
-		Jobs:      jobs,
-		PoolCores: 2,
-		Policy:    cluster.FairShare(),
-		Strategy:  cluster.StrategyBridge,
-		SLOFactor: 3,
+		Jobs:       jobs,
+		PoolCores:  2,
+		Policy:     cluster.FairShare(),
+		Strategy:   cluster.StrategyBridge,
+		SLOFactor:  3,
 		Seed:       5,
 		ColdStarts: true,
 		WarmPool:   warmPool,
@@ -286,6 +286,44 @@ func TestSyntheticGapAttribution(t *testing.T) {
 	}
 	if j.Tenant != "j000" {
 		t.Errorf("tenant = %q, want j000", j.Tenant)
+	}
+}
+
+// TestShardAssignTenant: on sharded multi-tenant logs, the true tenant id
+// from shard_assign (and shard_steal, for migrated jobs) wins over the
+// app-prefix fallback, and the ByTenant table keys by it.
+func TestShardAssignTenant(t *testing.T) {
+	sec := func(s int64) int64 { return s * 1_000_000 }
+	mk := func(typ eventlog.Type, ts int64, app string, f func(*eventlog.Event)) eventlog.Event {
+		ev := eventlog.Ev(typ)
+		ev.App = app
+		ev.TS = ts
+		if f != nil {
+			f(&ev)
+		}
+		return ev
+	}
+	events := []eventlog.Event{
+		mk(eventlog.ShardAssign, sec(0), "s0-j000-synthetic", func(e *eventlog.Event) { e.Exec = "t07"; e.Cores = 2; e.Note = "shard=0" }),
+		mk(eventlog.ClusterArrive, sec(0), "s0-j000-synthetic", func(e *eventlog.Event) { e.Note = "synthetic"; e.Cores = 2 }),
+		mk(eventlog.ShardSteal, sec(1), "s1-j000-synthetic", func(e *eventlog.Event) { e.Exec = "t07"; e.Cores = 2; e.Note = "s0->s1" }),
+		mk(eventlog.ClusterArrive, sec(1), "s1-j000-synthetic", func(e *eventlog.Event) { e.Note = "synthetic"; e.Cores = 2 }),
+		mk(eventlog.ClusterAdmit, sec(2), "s1-j000-synthetic", nil),
+		mk(eventlog.ClusterFinish, sec(4), "s1-j000-synthetic", nil),
+		mk(eventlog.ClusterAdmit, sec(2), "s0-j000-synthetic", nil),
+		mk(eventlog.ClusterFinish, sec(5), "s0-j000-synthetic", nil),
+	}
+	rep := attrib.Analyze(events)
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("attributed %d jobs, want 2", len(rep.Jobs))
+	}
+	for _, j := range rep.Jobs {
+		if j.Tenant != "t07" {
+			t.Errorf("app %s: tenant = %q, want t07 (from shard events)", j.App, j.Tenant)
+		}
+	}
+	if _, ok := rep.ByTenant["t07"]; !ok || len(rep.ByTenant) != 1 {
+		t.Errorf("ByTenant keys = %v, want exactly [t07]", rep.ByTenant)
 	}
 }
 

@@ -30,8 +30,12 @@ type ioPoint struct {
 // appLog is everything the walk needs about one application, extracted
 // from the stream in a single pass.
 type appLog struct {
-	app       string
-	name      string
+	app  string
+	name string
+	// tenant is the submitting tenant, learned from the sharded control
+	// plane's shard_assign/shard_steal events (empty on unsharded logs,
+	// where the app-prefix fallback applies).
+	tenant    string
 	arrivalUS int64
 	admitUS   int64
 	endUS     int64
@@ -116,6 +120,10 @@ func collectApps(events []eventlog.Event) map[string]*appLog {
 			al := appOf(e.App)
 			al.arrivalUS = e.TS
 			al.name = e.Note
+		case eventlog.ShardAssign, eventlog.ShardSteal:
+			// Exec carries the true tenant id; a stolen job's assign and
+			// steal events agree on it, so last-writer-wins is safe.
+			appOf(e.App).tenant = e.Exec
 		case eventlog.ClusterAdmit:
 			appOf(e.App).admitUS = e.TS
 		case eventlog.ClusterDelay:
@@ -228,10 +236,14 @@ func computeMedians(al *appLog) {
 // attributeApp runs the backward critical-path walk over one app and
 // converts the path into blame segments that tile [arrival, end].
 func attributeApp(al *appLog) JobAttribution {
+	tenant := al.tenant
+	if tenant == "" {
+		tenant = tenantOf(al.app)
+	}
 	ja := JobAttribution{
 		App:        al.app,
 		Name:       al.name,
-		Tenant:     tenantOf(al.app),
+		Tenant:     tenant,
 		ArrivalUS:  al.arrivalUS,
 		EndUS:      al.endUS,
 		MakespanUS: al.endUS - al.arrivalUS,

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
 
 	"splitserve/internal/simrand"
 )
@@ -106,11 +107,27 @@ func ParseArrivals(spec string, n int, seed uint64) ([]time.Duration, error) {
 }
 
 // ArrivalTrace is a parsed tracefile: arrival offsets sorted ascending,
-// plus a parallel Cores slice (0 where a row gave no core count). The two
-// slices are reordered together, so Cores[i] always belongs to Offsets[i].
+// plus parallel Cores and Tenants slices (0 / "" where a row gave no
+// core count or tenant). The slices are reordered together, so Cores[i]
+// and Tenants[i] always belong to Offsets[i].
 type ArrivalTrace struct {
 	Offsets []time.Duration
 	Cores   []int
+	Tenants []string
+	// Warnings collects non-fatal input oddities — a skipped header row,
+	// rows that arrived out of order (sorted; warned once) — so the CLI
+	// can surface them without failing the run.
+	Warnings []string
+}
+
+// Tenanted reports whether any row carried a tenant label.
+func (tr *ArrivalTrace) Tenanted() bool {
+	for _, t := range tr.Tenants {
+		if t != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // maxTraceFileBytes caps how much of a tracefile is read — a malformed
@@ -145,41 +162,70 @@ func LoadArrivalTrace(path string) (*ArrivalTrace, error) {
 	return tr, nil
 }
 
-// ParseArrivalTrace parses CSV rows of the form "OFFSET" or "OFFSET,CORES"
-// (e.g. "30s,4"). Blank lines and lines starting with '#' are skipped;
-// malformed rows are rejected with their line number. Rows are sorted by
-// offset (stably, so equal offsets keep file order) before returning.
+// ParseArrivalTrace parses CSV rows of the form "OFFSET", "OFFSET,CORES"
+// or "OFFSET,CORES,TENANT" (e.g. "30s,4,t02"; an empty CORES field —
+// "30s,,t02" — means "no pin"). Blank lines and lines starting with '#'
+// are skipped, as is a leading header row ("offset,cores,tenant" style —
+// production trace exports usually carry one); CRLF line endings are
+// tolerated. Malformed rows are rejected with their line number. Rows are
+// sorted by offset (stably, so equal offsets keep file order) before
+// returning; when the input was out of order, a single warning is
+// recorded rather than an error — published traces are frequently sorted
+// by tenant, not time.
 func ParseArrivalTrace(r io.Reader) (*ArrivalTrace, error) {
 	type row struct {
 		offset time.Duration
 		cores  int
+		tenant string
 	}
 	var rows []row
+	var warnings []string
 	sc := bufio.NewScanner(r)
 	line := 0
+	sorted := true
 	for sc.Scan() {
 		line++
-		s := strings.TrimSpace(sc.Text())
+		s := strings.TrimSpace(sc.Text()) // also strips a trailing \r
 		if s == "" || strings.HasPrefix(s, "#") {
 			continue
 		}
 		fields := strings.Split(s, ",")
-		if len(fields) > 2 {
-			return nil, fmt.Errorf("line %d: %d fields (want OFFSET or OFFSET,CORES)", line, len(fields))
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("line %d: %d fields (want OFFSET[,CORES[,TENANT]])", line, len(fields))
 		}
-		d, err := time.ParseDuration(strings.TrimSpace(fields[0]))
-		if err != nil || d < 0 {
-			return nil, fmt.Errorf("line %d: bad offset %q", line, strings.TrimSpace(fields[0]))
+		off := strings.TrimSpace(fields[0])
+		d, err := time.ParseDuration(off)
+		if err != nil {
+			// Header tolerance: an unparsable first data row that contains
+			// letters ("offset,cores,tenant") is skipped with a warning;
+			// anything later is a data error.
+			if len(rows) == 0 && strings.IndexFunc(off, unicode.IsLetter) >= 0 {
+				warnings = append(warnings, fmt.Sprintf("line %d: skipped header row %q", line, s))
+				continue
+			}
+			return nil, fmt.Errorf("line %d: bad offset %q", line, off)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("line %d: bad offset %q", line, off)
 		}
 		cores := 0
-		if len(fields) == 2 {
-			c, err := strconv.Atoi(strings.TrimSpace(fields[1]))
-			if err != nil || c < 1 {
-				return nil, fmt.Errorf("line %d: bad cores %q", line, strings.TrimSpace(fields[1]))
+		if len(fields) >= 2 {
+			if cs := strings.TrimSpace(fields[1]); cs != "" {
+				c, err := strconv.Atoi(cs)
+				if err != nil || c < 1 {
+					return nil, fmt.Errorf("line %d: bad cores %q", line, cs)
+				}
+				cores = c
 			}
-			cores = c
 		}
-		rows = append(rows, row{offset: d, cores: cores})
+		tenant := ""
+		if len(fields) == 3 {
+			tenant = strings.TrimSpace(fields[2])
+		}
+		if len(rows) > 0 && d < rows[len(rows)-1].offset {
+			sorted = false
+		}
+		rows = append(rows, row{offset: d, cores: cores, tenant: tenant})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -187,14 +233,20 @@ func ParseArrivalTrace(r io.Reader) (*ArrivalTrace, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("empty trace")
 	}
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].offset < rows[j].offset })
+	if !sorted {
+		warnings = append(warnings, "arrivals out of order: sorted rows by offset")
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].offset < rows[j].offset })
+	}
 	tr := &ArrivalTrace{
-		Offsets: make([]time.Duration, len(rows)),
-		Cores:   make([]int, len(rows)),
+		Offsets:  make([]time.Duration, len(rows)),
+		Cores:    make([]int, len(rows)),
+		Tenants:  make([]string, len(rows)),
+		Warnings: warnings,
 	}
 	for i, rw := range rows {
 		tr.Offsets[i] = rw.offset
 		tr.Cores[i] = rw.cores
+		tr.Tenants[i] = rw.tenant
 	}
 	return tr, nil
 }

@@ -65,14 +65,60 @@ func TestParseArrivalTraceCSV(t *testing.T) {
 		{"5s\nbogus\n", "line 2"},
 		{"5s,-1\n", "line 1"},
 		{"5s,0\n", "line 1"},
-		{"5s,2,3\n", "line 1"},
+		{"5s,2,t0,extra\n", "line 1"},
 		{"-1s\n", "line 1"},
+		{"header\n-1s\n", "line 2"}, // header skip never hides a data error
 		{"# only comments\n\n", "empty trace"},
+		{"offset,cores,tenant\n", "empty trace"}, // header-only file
 	} {
 		_, err := ParseArrivalTrace(strings.NewReader(tc.csv))
 		if err == nil || !strings.Contains(err.Error(), tc.line) {
 			t.Errorf("ParseArrivalTrace(%q): error %v, want mention of %q", tc.csv, err, tc.line)
 		}
+	}
+}
+
+// TestParseArrivalTraceTenantColumn covers the production-trace shapes the
+// multi-tenant control plane ingests: a TENANT third column (with an
+// optionally empty CORES field), a header row, CRLF line endings, and
+// out-of-order arrivals that are sorted with a single recorded warning.
+func TestParseArrivalTraceTenantColumn(t *testing.T) {
+	tr, err := ParseArrivalTrace(strings.NewReader(
+		"offset,cores,tenant\r\n10s,2,t01\r\n0s,,t00\r\n30s,4,t01\r\n5s\r\n"))
+	if err != nil {
+		t.Fatalf("ParseArrivalTrace: %v", err)
+	}
+	wantOff := []time.Duration{0, 5 * time.Second, 10 * time.Second, 30 * time.Second}
+	wantCores := []int{0, 0, 2, 4}
+	wantTenants := []string{"t00", "", "t01", "t01"}
+	if len(tr.Offsets) != len(wantOff) {
+		t.Fatalf("got %d rows, want %d", len(tr.Offsets), len(wantOff))
+	}
+	for i := range wantOff {
+		if tr.Offsets[i] != wantOff[i] || tr.Cores[i] != wantCores[i] || tr.Tenants[i] != wantTenants[i] {
+			t.Fatalf("row %d = (%s, %d, %q), want (%s, %d, %q)", i,
+				tr.Offsets[i], tr.Cores[i], tr.Tenants[i], wantOff[i], wantCores[i], wantTenants[i])
+		}
+	}
+	if !tr.Tenanted() {
+		t.Error("Tenanted() = false for a trace with tenant labels")
+	}
+	// Exactly two warnings: the skipped header, and one (not per-row)
+	// out-of-order notice.
+	if len(tr.Warnings) != 2 {
+		t.Fatalf("warnings = %q, want header-skip + out-of-order", tr.Warnings)
+	}
+	if !strings.Contains(tr.Warnings[0], "header") || !strings.Contains(tr.Warnings[1], "out of order") {
+		t.Errorf("warnings = %q", tr.Warnings)
+	}
+
+	// A clean, sorted, untenanted trace carries no warnings.
+	clean, err := ParseArrivalTrace(strings.NewReader("0s\n5s,4\n"))
+	if err != nil {
+		t.Fatalf("ParseArrivalTrace(clean): %v", err)
+	}
+	if len(clean.Warnings) != 0 || clean.Tenanted() {
+		t.Errorf("clean trace: warnings=%q tenanted=%v", clean.Warnings, clean.Tenanted())
 	}
 }
 

@@ -81,6 +81,10 @@ type JobSpec struct {
 	Cores int
 	// Arrival is the submission offset from the start of the run.
 	Arrival time.Duration
+	// Tenant labels the submitting tenant in multi-tenant runs (empty for
+	// single-tenant streams). The sharded control plane hashes it to pick
+	// the job's home shard; reports carry it through per-tenant tables.
+	Tenant string
 	// Baseline is the job's execution time at full provisioning (see
 	// Baseline); the SLO deadline is SLOFactor × Baseline and stretch is
 	// measured against it.
@@ -156,7 +160,18 @@ type Config struct {
 	// VMBootOverride pins the boot delay of autoscale-procured VMs
 	// (0 = sample the provider's distribution).
 	VMBootOverride time.Duration
-	Seed           uint64
+	// Clock, when non-nil, is an externally owned simulation clock. The
+	// sharded control plane (internal/shard) passes one clock to every
+	// shard so N independent schedulers advance in lockstep; it then
+	// drives them itself via Start/Pump/Done/Finalize instead of Run.
+	// Default nil builds a private clock, the historical behavior.
+	Clock *simclock.Clock
+	// IDPrefix prefixes every job's app ID and executor prefix ("s2-"
+	// under the sharded control plane) so merged event streams from
+	// several schedulers stay collision-free. Empty (the default)
+	// preserves the historical j%03d-NAME IDs byte-for-byte.
+	IDPrefix string
+	Seed     uint64
 	// MaxSimTime bounds the whole run (default 48h).
 	MaxSimTime time.Duration
 	// Prof, when non-nil, collects host-side self-profiling (wall time
@@ -175,6 +190,10 @@ const (
 	jobFailed
 	// jobShed: rejected by deadline-aware admission before running.
 	jobShed
+	// jobMigrated: stolen by the sharded control plane's work-stealing
+	// pass while queued; it settles here (excluded from this scheduler's
+	// report) and re-runs on the destination shard.
+	jobMigrated
 )
 
 // coroutine is one job's workload goroutine. Exactly one goroutine — the
@@ -236,6 +255,13 @@ type job struct {
 	// once; shedReason is set when admission rejected it outright.
 	delayed    bool
 	shedReason string
+
+	// injected marks a job stolen in from another shard: its presetArrival
+	// preserves the original submission instant (SLO deadlines and queue
+	// wait stay measured from true submission), and the stealing pass
+	// never re-steals it.
+	injected      bool
+	presetArrival time.Time
 
 	jobSpan   *telemetry.Span
 	queueSpan *telemetry.Span
@@ -396,7 +422,10 @@ func New(cfg Config) (*Scheduler, error) {
 		}
 	}
 
-	clock := newClock(simclock.Epoch)
+	clock := cfg.Clock
+	if clock == nil {
+		clock = newClock(simclock.Epoch)
+	}
 	net := netsim.New(clock)
 	hub := telemetry.New(clock)
 	bus := eventlog.NewBus(simclock.Epoch)
@@ -467,8 +496,9 @@ func New(cfg Config) (*Scheduler, error) {
 		if spec.Name == "" {
 			spec.Name = spec.Workload.Name()
 		}
-		j := &job{spec: spec, id: i, appID: fmt.Sprintf("j%03d-%s", i, spec.Name),
-			execPrefix: fmt.Sprintf("j%03d", i)}
+		j := &job{spec: spec, id: i,
+			appID:      fmt.Sprintf("%sj%03d-%s", cfg.IDPrefix, i, spec.Name),
+			execPrefix: fmt.Sprintf("%sj%03d", cfg.IDPrefix, i)}
 		j.meter.SetTelemetry(hub)
 		s.jobs = append(s.jobs, j)
 	}
@@ -496,25 +526,46 @@ func (s *Scheduler) emit(t eventlog.Type, j *job, mutate func(*eventlog.Event)) 
 func (s *Scheduler) Clock() *simclock.Clock { return s.clock }
 
 // Run plays the whole job stream to completion and reports. It may be
-// called once.
+// called once. It is exactly Start + the Step/Pump drive loop + Finalize;
+// the sharded control plane calls those pieces directly so N schedulers
+// on one shared clock advance in lockstep.
 func (s *Scheduler) Run() (*Report, error) {
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	deadline := simclock.Epoch.Add(s.cfg.MaxSimTime)
+	for !s.Done() && s.clock.Now().Before(deadline) {
+		if !s.clock.Step() {
+			break
+		}
+		s.Pump()
+	}
+	return s.Finalize(), nil
+}
+
+// Start registers every job's arrival on the clock. It may be called
+// once; after it, the caller drives the clock (Step) and calls Pump after
+// every step until Done, then Finalize.
+func (s *Scheduler) Start() error {
 	if s.ran {
-		return nil, errors.New("cluster: Run may only be called once")
+		return errors.New("cluster: Run may only be called once")
 	}
 	s.ran = true
 	for _, j := range s.jobs {
 		j := j
 		s.clock.At(simclock.Epoch.Add(j.spec.Arrival), func() { s.onArrival(j) })
 	}
-	deadline := simclock.Epoch.Add(s.cfg.MaxSimTime)
-	for s.settled < len(s.jobs) && s.clock.Now().Before(deadline) {
-		if !s.clock.Step() {
-			break
-		}
-		s.pump()
-	}
-	// Whatever is still parked is stalled (or past the deadline): abort
-	// the workload goroutines so they return and release their resources.
+	return nil
+}
+
+// Done reports whether every submitted (or injected) job has settled.
+func (s *Scheduler) Done() bool { return s.settled >= len(s.jobs) }
+
+// Finalize ends the run: whatever is still parked is stalled (or past
+// the deadline), so abort the workload goroutines, fail still-active
+// jobs, stop the warm pool, and build the report. Call once, after the
+// drive loop exits.
+func (s *Scheduler) Finalize() *Report {
 	// An aborted workload settles itself through finish before handing the
 	// token back.
 	for len(s.parkedJobs) > 0 {
@@ -537,7 +588,7 @@ func (s *Scheduler) Run() (*Report, error) {
 		s.warm.Stop()
 	}
 	s.updateGauges()
-	return s.buildReport(), nil
+	return s.buildReport()
 }
 
 // passToken hands the execution token to the next run-queue workload, or
@@ -580,6 +631,12 @@ func (s *Scheduler) onCoresFreed() { s.kick() }
 func (s *Scheduler) onArrival(j *job) {
 	j.phase = jobQueued
 	j.arrivalAt = s.clock.Now()
+	if !j.presetArrival.IsZero() {
+		// A stolen job keeps its original submission instant: the SLO
+		// deadline and queue wait are measured from when the tenant
+		// submitted it, not from when the steal landed it here.
+		j.arrivalAt = j.presetArrival
+	}
 	j.jobSpan = s.hub.Tracer().StartSpan("cluster", "job",
 		telemetry.L("app", j.appID), telemetry.L("name", j.spec.Name))
 	j.queueSpan = s.hub.Tracer().StartSpan("cluster", "queue_wait",
@@ -815,14 +872,16 @@ func (s *Scheduler) runJob(j *job) {
 	<-s.schedToken
 }
 
-// pump resumes every parked workload whose engine job has completed: it
+// Pump resumes every parked workload whose engine job has completed: it
 // collects the resumable batch in park order, then releases the execution
 // token into the chain with one sync point for the whole batch, repeating
 // until no more progress is possible (a resumed workload can finish,
 // unblocking cores that complete another job at the same instant).
 // Because ready probes are monotone, collect-then-chain resumes workloads
-// in exactly the order the old resume-one-rescan loop did.
-func (s *Scheduler) pump() {
+// in exactly the order the old resume-one-rescan loop did. Exported for
+// the sharded control plane's lockstep drive loop; Run calls it after
+// every clock step.
+func (s *Scheduler) Pump() {
 	for {
 		kept := s.parkedJobs[:0]
 		for _, j := range s.parkedJobs {

@@ -45,12 +45,16 @@ func FuzzParseArrivals(f *testing.F) {
 
 // FuzzParseArrivalTrace feeds arbitrary CSV bytes to the tracefile
 // parser. The contract: never panic, errors carry a line number, and any
-// accepted trace yields sorted non-negative offsets with a Cores slice of
-// equal length holding only zero-or-positive entries.
+// accepted trace yields sorted non-negative offsets with Cores and
+// Tenants slices of equal length (cores zero-or-positive).
 func FuzzParseArrivalTrace(f *testing.F) {
 	for _, csv := range []string{
 		"0s\n5s\n", "30s,4\n0s\n10s,2\n", "# comment\n\n1m\n",
-		"5s,0\n", "5s,-1\n", "5s,x\n", "bogus\n", "1s,2,3\n", "-1s\n", "",
+		"5s,0\n", "5s,-1\n", "5s,x\n", "bogus\n", "1s,2,3,4\n", "-1s\n", "",
+		// Tenant column, empty-cores, header, CRLF and out-of-order shapes.
+		"0s,4,t00\n5s,2,t01\n", "30s,,t02\n", "offset,cores,tenant\n1s,2,t00\n",
+		"0s,4,t00\r\n5s,2,t01\r\n", "10s,1,t01\n0s,1,t00\n",
+		"offset,cores,tenant\n", "header\n-1s\n",
 	} {
 		f.Add([]byte(csv))
 	}
@@ -65,8 +69,9 @@ func FuzzParseArrivalTrace(f *testing.F) {
 			}
 			return
 		}
-		if len(tr.Offsets) == 0 || len(tr.Cores) != len(tr.Offsets) {
-			t.Fatalf("accepted trace malformed: %d offsets, %d cores", len(tr.Offsets), len(tr.Cores))
+		if len(tr.Offsets) == 0 || len(tr.Cores) != len(tr.Offsets) || len(tr.Tenants) != len(tr.Offsets) {
+			t.Fatalf("accepted trace malformed: %d offsets, %d cores, %d tenants",
+				len(tr.Offsets), len(tr.Cores), len(tr.Tenants))
 		}
 		if !sort.SliceIsSorted(tr.Offsets, func(i, j int) bool { return tr.Offsets[i] < tr.Offsets[j] }) {
 			t.Errorf("offsets not ascending: %v", tr.Offsets)

@@ -21,7 +21,10 @@ type JobReport struct {
 	ID       int    `json:"id"`
 	Name     string `json:"name"`
 	Workload string `json:"workload,omitempty"`
-	Cores    int    `json:"cores"`
+	// Tenant is the submitting tenant in multi-tenant runs (omitted for
+	// untenanted streams, which keeps legacy reports byte-identical).
+	Tenant string `json:"tenant,omitempty"`
+	Cores  int    `json:"cores"`
 
 	ArrivalUS   int64 `json:"arrival_us"`
 	StartUS     int64 `json:"start_us"`
@@ -155,7 +158,6 @@ func (s *Scheduler) buildReport() *Report {
 		Admission:       s.cfg.Admission.String(),
 		ScaleDownIdleUS: us(s.cfg.ScaleDownIdle),
 		Alloc:           s.cfg.Alloc,
-		Jobs:            len(s.jobs),
 
 		QueueWaitHist: s.insts.queueWait.Snapshot(),
 		StretchHist:   s.insts.stretch.Snapshot(),
@@ -167,9 +169,16 @@ func (s *Scheduler) buildReport() *Report {
 	var runErrSum, costErrSum float64
 
 	for _, j := range s.jobs {
+		// A migrated job re-ran (and is reported) on the shard that stole
+		// it; counting it here would double-report it in merged tables.
+		if j.phase == jobMigrated {
+			continue
+		}
+		r.Jobs++
 		jr := JobReport{
 			ID:        j.id,
 			Name:      j.spec.Name,
+			Tenant:    j.spec.Tenant,
 			Cores:     j.spec.Cores,
 			ArrivalUS: us(j.arrivalAt.Sub(simclock.Epoch)),
 		}

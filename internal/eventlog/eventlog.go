@@ -90,6 +90,19 @@ const (
 	TmpCacheHit    Type = "tmp_cache_hit"
 	TmpCacheEvict  Type = "tmp_cache_evict"
 	WarmpoolResize Type = "warmpool_resize"
+
+	// Sharded control plane (internal/shard). ShardAssign records a job's
+	// deterministic tenant→shard placement at submission time (App = the
+	// job's appID on its home shard, Exec = tenant, Cores = demand,
+	// Note = "shard=N"). ShardSteal records a queued job migrating from a
+	// saturated shard to a neighbor with idle cores (App = the job's new
+	// appID on the destination shard, Exec = tenant, Cores = demand,
+	// Note = "sSRC->sDST"). TenantReport is the end-of-run per-tenant
+	// rollup (Exec = tenant, Cores = jobs submitted, Note = the
+	// completed/violations/attainment summary).
+	ShardAssign  Type = "shard_assign"
+	ShardSteal   Type = "shard_steal"
+	TenantReport Type = "tenant_report"
 )
 
 // allTypes is the single authoritative enumeration of the closed
@@ -108,6 +121,7 @@ var allTypes = []Type{
 	SLOViolate, SegueCoreGrant, AutoscaleOrder,
 	VMReleaseIdle, ClusterShed, ClusterDelay, CostPick,
 	LambdaWarmHit, TmpCacheHit, TmpCacheEvict, WarmpoolResize,
+	ShardAssign, ShardSteal, TenantReport,
 }
 
 var validTypes = func() map[Type]bool {

@@ -189,6 +189,14 @@ func BuildTrace(events []Event) *TraceFile {
 				Ph: "i", TS: e.TS, PID: pidOf(e.App), TID: driverTID,
 				Scope: "p", CName: cnameCostPick, Args: argsFor(e),
 			})
+		case ShardAssign, ShardSteal:
+			// Shard placement decisions stay on the app's driver track —
+			// Exec carries the tenant id, not an executor, so never open a
+			// thread for it.
+			instant(e, string(e.Type), pidOf(e.App), driverTID, "p", argsFor(e))
+		case TenantReport:
+			// Per-tenant rollups are control-plane scope: no app process.
+			instant(e, string(e.Type), pidOf(e.App), driverTID, "g", argsFor(e))
 		case Segue, ExecutorDrain, SegueCoreGrant, SLOViolate, ClusterArrive,
 			StageResubmitted, TaskSpeculated, AutoscaleOrder,
 			ClusterShed, ClusterDelay:

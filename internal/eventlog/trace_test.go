@@ -117,6 +117,12 @@ func traceVocabulary() map[Type]traceCase {
 		TmpCacheHit:    instantExec(TmpCacheHit),
 		TmpCacheEvict:  instantExec(TmpCacheEvict),
 		WarmpoolResize: instant(WarmpoolResize),
+
+		// Sharded control plane (PR 10's three types). Exec carries the
+		// tenant id on all three; none of them may open an executor track.
+		ShardAssign:  instantExec(ShardAssign),
+		ShardSteal:   instantExec(ShardSteal),
+		TenantReport: instantExec(TenantReport),
 	}
 }
 
@@ -178,7 +184,12 @@ func TestAllTypesIsClosed(t *testing.T) {
 			t.Errorf("warm-pool type %q missing from AllTypes", typ)
 		}
 	}
-	if got := len(all); got != 39 {
-		t.Errorf("closed vocabulary has %d types, want 39 — update this pin alongside AllTypes and BuildTrace", got)
+	for _, typ := range []Type{ShardAssign, ShardSteal, TenantReport} {
+		if !seen[typ] {
+			t.Errorf("shard type %q missing from AllTypes", typ)
+		}
+	}
+	if got := len(all); got != 42 {
+		t.Errorf("closed vocabulary has %d types, want 42 — update this pin alongside AllTypes and BuildTrace", got)
 	}
 }

@@ -16,7 +16,13 @@ const SchemaV1 = "splitserve-loadbench/v1"
 // values except Jobs are host wall-clock measurements: run-to-run noise
 // is expected, which is why Compare takes a threshold.
 type Point struct {
-	Jobs        int     `json:"jobs"`
+	Jobs int `json:"jobs"`
+	// Shards/Tenants describe sharded control-plane points (RunShardPoint).
+	// Zero values mean the classic single-scheduler shape; Compare treats
+	// shards 0 and 1 as the same series, so a sharded file's shards=1
+	// points gate against pre-shard baselines.
+	Shards      int     `json:"shards,omitempty"`
+	Tenants     int     `json:"tenants,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// JobsPerSec is simulated cluster throughput: completed jobs per
 	// wall-clock second of host time.
@@ -105,12 +111,20 @@ type Delta struct {
 // 10% worse); Regressed reports whether any metric crossed it.
 func Compare(old, new *File, threshold float64) *CompareResult {
 	res := &CompareResult{Threshold: threshold}
-	newByJobs := map[int]Point{}
+	type key struct{ jobs, shards int }
+	norm := func(p Point) key {
+		k := key{p.Jobs, p.Shards}
+		if k.shards == 0 {
+			k.shards = 1
+		}
+		return k
+	}
+	newByJobs := map[key]Point{}
 	for _, p := range new.Points {
-		newByJobs[p.Jobs] = p
+		newByJobs[norm(p)] = p
 	}
 	for _, op := range old.Points {
-		np, ok := newByJobs[op.Jobs]
+		np, ok := newByJobs[norm(op)]
 		if !ok {
 			res.Unmatched = append(res.Unmatched, op.Jobs)
 			continue

@@ -14,6 +14,7 @@ import (
 
 	"splitserve/internal/cluster"
 	"splitserve/internal/perfstat"
+	"splitserve/internal/shard"
 	"splitserve/internal/workloads"
 	"splitserve/internal/workloads/sparkpi"
 )
@@ -82,6 +83,79 @@ func RunPoint(jobs int, seed uint64) (Point, error) {
 
 	p := Point{
 		Jobs:           jobs,
+		WallSeconds:    snap.WallSeconds,
+		EventsFired:    snap.EventsFired,
+		EventsPerSec:   snap.EventsPerSec,
+		AllocsPerEvent: snap.AllocsPerEvent,
+		BytesPerEvent:  snap.BytesPerEvent,
+		StepP50US:      snap.StepWall.P50US,
+		StepP99US:      snap.StepWall.P99US,
+		HeapHighWater:  snap.Clock.HeapHighWater,
+		Cancelled:      snap.Clock.Cancelled,
+		Yields:         snap.Yields,
+		QueueMax:       snap.RunQueue.Max,
+		QueueMean:      snap.RunQueue.Mean,
+	}
+	if snap.WallSeconds > 0 {
+		p.JobsPerSec = float64(jobs) / snap.WallSeconds
+	}
+	return p, nil
+}
+
+// RunShardPoint pushes the same fixed load shape through the sharded
+// control plane: the stream is labelled with `tenants` synthetic tenants
+// round-robin and partitioned across `shards` scheduler instances, so
+// the point measures the manager's lockstep drive loop, work-stealing
+// pass and merged reporting on top of the scheduler itself. shards=1
+// quantifies pure manager overhead against RunPoint's direct path.
+func RunShardPoint(jobs, shards, tenants int, seed uint64) (Point, error) {
+	if jobs < 1 {
+		return Point{}, fmt.Errorf("loadbench: need at least 1 job, got %d", jobs)
+	}
+	if shards < 1 {
+		return Point{}, fmt.Errorf("loadbench: need at least 1 shard, got %d", shards)
+	}
+	if tenants < 1 {
+		return Point{}, fmt.Errorf("loadbench: need at least 1 tenant, got %d", tenants)
+	}
+	base, err := cluster.Baseline(tinyJob(seed), jobCores, seed)
+	if err != nil {
+		return Point{}, fmt.Errorf("loadbench baseline: %w", err)
+	}
+	specs := make([]cluster.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = cluster.JobSpec{
+			Name:     "sparkpi",
+			Workload: tinyJob(seed + uint64(i)),
+			Tenant:   fmt.Sprintf("t%02d", i%tenants),
+			Cores:    jobCores,
+			Arrival:  time.Duration(i) * arrivalGap,
+			Baseline: base,
+		}
+	}
+
+	prof := perfstat.New()
+	m, err := shard.New(shard.Config{
+		Shards: shards,
+		Cluster: cluster.Config{
+			Jobs:      specs,
+			PoolCores: poolCores,
+			Seed:      seed,
+			Prof:      prof,
+		},
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("loadbench: %w", err)
+	}
+	if _, err := m.Run(); err != nil {
+		return Point{}, fmt.Errorf("loadbench run: %w", err)
+	}
+	snap := prof.Snapshot()
+
+	p := Point{
+		Jobs:           jobs,
+		Shards:         shards,
+		Tenants:        tenants,
 		WallSeconds:    snap.WallSeconds,
 		EventsFired:    snap.EventsFired,
 		EventsPerSec:   snap.EventsPerSec,

@@ -277,6 +277,8 @@ func subsystemOf(t eventlog.Type) string {
 	case eventlog.LambdaWarmHit, eventlog.TmpCacheHit, eventlog.TmpCacheEvict,
 		eventlog.WarmpoolResize:
 		return "warmpool"
+	case eventlog.ShardAssign, eventlog.ShardSteal, eventlog.TenantReport:
+		return "shard"
 	default:
 		return "other"
 	}

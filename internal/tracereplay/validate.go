@@ -1,0 +1,163 @@
+package tracereplay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"splitserve/internal/shard"
+)
+
+// TenantValidation compares one tenant's traced distribution against its
+// replayed outcome.
+type TenantValidation struct {
+	Tenant string `json:"tenant"`
+	// Job counts and stream shares must match exactly: replay drops or
+	// duplicates nothing.
+	TracedJobs  int     `json:"traced_jobs"`
+	ReplayJobs  int     `json:"replay_jobs"`
+	TracedShare float64 `json:"traced_share"`
+	ReplayShare float64 `json:"replay_share"`
+	// Mean demand must match exactly (demand is copied, not modelled).
+	TracedMeanCores float64 `json:"traced_mean_cores"`
+	ReplayMeanCores float64 `json:"replay_mean_cores"`
+	// Runtimes are modelled (quantized sparkpi plus scheduler overheads),
+	// so the replayed mean tracks — not equals — the traced mean;
+	// RuntimeRatio is replay/traced over the tenant's completed jobs.
+	TracedMeanRuntimeUS int64   `json:"traced_mean_runtime_us"`
+	ReplayMeanRunUS     int64   `json:"replay_mean_run_us"`
+	RuntimeRatio        float64 `json:"runtime_ratio"`
+}
+
+// Validation is the whole-trace validation result.
+type Validation struct {
+	OK      bool               `json:"ok"`
+	Tenants []TenantValidation `json:"tenants"`
+	// Problems lists every exact-match violation (empty when OK).
+	Problems []string `json:"problems,omitempty"`
+}
+
+// Validate checks a sharded replay against the trace it came from: every
+// tenant's job count, stream share and mean core demand must match the
+// trace exactly, and the modelled runtimes are reported as a ratio for
+// eyeballing calibration drift. Works off the merged report's underlying
+// cluster reports, so stolen jobs are validated where they ran.
+func Validate(tr *Trace, rep *shard.Report) *Validation {
+	type acc struct {
+		jobs    int
+		cores   int
+		runUS   int64
+		runJobs int
+	}
+	traced := map[string]*acc{}
+	for _, row := range tr.Rows {
+		a := traced[row.Tenant]
+		if a == nil {
+			a = &acc{}
+			traced[row.Tenant] = a
+		}
+		a.jobs++
+		a.cores += row.Cores
+		a.runUS += row.Runtime.Microseconds()
+		a.runJobs++
+	}
+	replayed := map[string]*acc{}
+	for _, cr := range rep.ClusterReports {
+		if cr == nil {
+			continue
+		}
+		for _, jr := range cr.JobReports {
+			a := replayed[jr.Tenant]
+			if a == nil {
+				a = &acc{}
+				replayed[jr.Tenant] = a
+			}
+			a.jobs++
+			a.cores += jr.Cores
+			if jr.Failed == "" && jr.Shed == "" {
+				a.runUS += jr.RunUS
+				a.runJobs++
+			}
+		}
+	}
+
+	names := make([]string, 0, len(traced))
+	for name := range traced {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	v := &Validation{OK: true}
+	for _, name := range names {
+		ta := traced[name]
+		ra := replayed[name]
+		if ra == nil {
+			ra = &acc{}
+		}
+		tv := TenantValidation{
+			Tenant:          name,
+			TracedJobs:      ta.jobs,
+			ReplayJobs:      ra.jobs,
+			TracedShare:     float64(ta.jobs) / float64(len(tr.Rows)),
+			TracedMeanCores: float64(ta.cores) / float64(ta.jobs),
+		}
+		if rep.Jobs > 0 {
+			tv.ReplayShare = float64(ra.jobs) / float64(rep.Jobs)
+		}
+		if ra.jobs > 0 {
+			tv.ReplayMeanCores = float64(ra.cores) / float64(ra.jobs)
+		}
+		if ta.runJobs > 0 {
+			tv.TracedMeanRuntimeUS = ta.runUS / int64(ta.runJobs)
+		}
+		if ra.runJobs > 0 {
+			tv.ReplayMeanRunUS = ra.runUS / int64(ra.runJobs)
+		}
+		if tv.TracedMeanRuntimeUS > 0 && tv.ReplayMeanRunUS > 0 {
+			tv.RuntimeRatio = float64(tv.ReplayMeanRunUS) / float64(tv.TracedMeanRuntimeUS)
+		}
+		if tv.ReplayJobs != tv.TracedJobs {
+			v.Problems = append(v.Problems, fmt.Sprintf(
+				"tenant %s: %d jobs replayed, %d traced", name, tv.ReplayJobs, tv.TracedJobs))
+		}
+		if tv.ReplayMeanCores != tv.TracedMeanCores {
+			v.Problems = append(v.Problems, fmt.Sprintf(
+				"tenant %s: mean demand %.2f cores replayed, %.2f traced", name, tv.ReplayMeanCores, tv.TracedMeanCores))
+		}
+		v.Tenants = append(v.Tenants, tv)
+	}
+	for name, ra := range replayed {
+		if traced[name] == nil {
+			v.Problems = append(v.Problems, fmt.Sprintf(
+				"tenant %s: %d jobs replayed but absent from the trace", name, ra.jobs))
+		}
+	}
+	sort.Strings(v.Problems)
+	v.OK = len(v.Problems) == 0
+	return v
+}
+
+// String renders the validation as a per-tenant table plus any problems.
+func (v *Validation) String() string {
+	var b strings.Builder
+	status := "ok"
+	if !v.OK {
+		status = "MISMATCH"
+	}
+	fmt.Fprintf(&b, "trace replay validation: %s (%d tenants)\n", status, len(v.Tenants))
+	fmt.Fprintf(&b, "%-10s %11s %11s %12s %12s %12s %8s\n",
+		"tenant", "jobs t/r", "share t/r", "cores t/r", "runtime", "replay-run", "ratio")
+	for _, t := range v.Tenants {
+		fmt.Fprintf(&b, "%-10s %5d/%-5d %5.3f/%-5.3f %5.2f/%-6.2f %12s %12s %7.2fx\n",
+			t.Tenant, t.TracedJobs, t.ReplayJobs, t.TracedShare, t.ReplayShare,
+			t.TracedMeanCores, t.ReplayMeanCores,
+			(time.Duration(t.TracedMeanRuntimeUS) * time.Microsecond).Round(time.Millisecond).String(),
+			(time.Duration(t.ReplayMeanRunUS) * time.Microsecond).Round(time.Millisecond).String(),
+			t.RuntimeRatio)
+	}
+	for _, p := range v.Problems {
+		fmt.Fprintf(&b, "problem: %s\n", p)
+	}
+	return b.String()
+}
